@@ -1,0 +1,130 @@
+// Command cmpsim runs one simulation of the CMP cache hierarchy and
+// prints a statistics report.
+//
+// Usage:
+//
+//	cmpsim -workload trade2 -mechanism wbht -outstanding 6
+//	cmpsim -trace capture.cmpt -mechanism snarf
+//
+// The workload is either a built-in synthetic profile (tp, cpw2,
+// notesbench, trade2) or a trace file produced by tracegen (binary CMPT
+// or text format, selected by content).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cmpcache"
+	"cmpcache/internal/config"
+	"cmpcache/internal/trace"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "trade2", "built-in workload: tp, cpw2, notesbench, trade2")
+		traceFile    = flag.String("trace", "", "trace file to replay instead of a built-in workload")
+		mechanism    = flag.String("mechanism", "base", "write-back policy: base, wbht, snarf, combined")
+		outstanding  = flag.Int("outstanding", 6, "max outstanding misses per thread (1-6 in the paper)")
+		refs         = flag.Int("refs", 0, "references per thread for built-in workloads (0 = default)")
+		wbhtEntries  = flag.Int("wbht-entries", 0, "override WBHT entries (0 = paper default 32768)")
+		snarfEntries = flag.Int("snarf-entries", 0, "override snarf table entries (0 = paper default 32768)")
+		noSwitch     = flag.Bool("no-retry-switch", false, "disable the WBHT retry-rate on/off switch")
+		global       = flag.Bool("global-wbht", false, "allocate WBHT entries in all L2s (Figure 3 variant)")
+		configFile   = flag.String("config", "", "load a JSON configuration (see -dump-config) before applying flags")
+		dumpConfig   = flag.Bool("dump-config", false, "print the effective configuration as JSON and exit")
+	)
+	flag.Parse()
+
+	cfg := cmpcache.DefaultConfig()
+	if *configFile != "" {
+		f, err := os.Open(*configFile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		cfg, err = config.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
+	// Flags override the config file only when explicitly given.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["mechanism"] || *configFile == "" {
+		switch *mechanism {
+		case "base":
+			cfg = cfg.WithMechanism(cmpcache.Baseline)
+		case "wbht":
+			cfg = cfg.WithMechanism(cmpcache.WBHT)
+		case "snarf":
+			cfg = cfg.WithMechanism(cmpcache.Snarf)
+		case "combined":
+			cfg = cfg.WithMechanism(cmpcache.Combined)
+		default:
+			fatalf("unknown mechanism %q (want base, wbht, snarf, combined)", *mechanism)
+		}
+	}
+	if set["outstanding"] || *configFile == "" {
+		cfg.MaxOutstanding = *outstanding
+	}
+	if *wbhtEntries > 0 {
+		cfg.WBHT.Entries = *wbhtEntries
+	}
+	if *snarfEntries > 0 {
+		cfg.Snarf.Entries = *snarfEntries
+	}
+	if set["no-retry-switch"] {
+		cfg.WBHT.SwitchEnabled = !*noSwitch
+	}
+	if set["global-wbht"] {
+		cfg.WBHT.GlobalAllocate = *global
+	}
+	if *dumpConfig {
+		if err := cfg.WriteJSON(os.Stdout); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+
+	tr, err := loadTrace(*traceFile, *workloadName, *refs)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	res, err := cmpcache.Run(cfg, tr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("workload             %s (%d refs, %d threads)\n",
+		tr.Name, len(tr.Records), tr.Threads)
+	fmt.Print(res.Summary())
+}
+
+func loadTrace(path, workloadName string, refs int) (*cmpcache.Trace, error) {
+	if path == "" {
+		if refs > 0 {
+			return cmpcache.GenerateWorkloadSized(workloadName, refs)
+		}
+		return cmpcache.GenerateWorkload(workloadName)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tr, err := trace.ReadBinary(f)
+	if err == trace.ErrBadMagic {
+		if _, serr := f.Seek(0, 0); serr != nil {
+			return nil, serr
+		}
+		return trace.ReadText(f)
+	}
+	return tr, err
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cmpsim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,82 @@
+// Command tracegen synthesizes a workload trace and writes it to a
+// file, optionally passing the raw reference stream through the per-core
+// L1 filter first (mirroring how the paper's L2-traffic traces were
+// captured on real machines).
+//
+// Usage:
+//
+//	tracegen -workload tp -o tp.cmpt
+//	tracegen -workload trade2 -refs 100000 -l1-filter -text -o trade2.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cmpcache/internal/config"
+	"cmpcache/internal/cpu"
+	"cmpcache/internal/trace"
+	"cmpcache/internal/workload"
+)
+
+func main() {
+	var (
+		name     = flag.String("workload", "trade2", "built-in workload: tp, cpw2, notesbench, trade2")
+		out      = flag.String("o", "", "output file (default <workload>.cmpt)")
+		refs     = flag.Int("refs", 0, "references per thread (0 = profile default)")
+		seed     = flag.Uint64("seed", 0, "override the profile's seed (0 = default)")
+		text     = flag.Bool("text", false, "write the human-readable text format")
+		l1Filter = flag.Bool("l1-filter", false, "filter the stream through per-core L1 caches")
+	)
+	flag.Parse()
+
+	p, err := workload.ByName(*name)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *refs > 0 {
+		p.RefsPerThread = *refs
+	}
+	if *seed != 0 {
+		p.Seed = *seed
+	}
+	tr, err := p.Generate()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *l1Filter {
+		cfg := config.Default()
+		tr = cpu.FilterTrace(&cfg, tr)
+	}
+
+	path := *out
+	if path == "" {
+		path = p.Name + ".cmpt"
+		if *text {
+			path = p.Name + ".trace.txt"
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	if *text {
+		err = trace.WriteText(f, tr)
+	} else {
+		err = trace.WriteBinary(f, tr)
+	}
+	if err != nil {
+		fatalf("writing %s: %v", path, err)
+	}
+	s := tr.Summarize(config.Default().LineBytes)
+	fmt.Printf("wrote %s: %d records, %d threads, %d distinct lines (%.1f MB footprint), mean gap %.1f\n",
+		path, s.Records, tr.Threads, s.DistinctLines,
+		float64(s.FootprintBytes(128))/(1<<20), s.MeanGap)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracegen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,73 @@
+// Command traceinfo summarizes a trace file: record and thread counts,
+// operation mix, footprint, per-thread balance and gap statistics.
+//
+// Usage:
+//
+//	traceinfo tp.cmpt [more.cmpt ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cmpcache/internal/stats"
+	"cmpcache/internal/trace"
+)
+
+func main() {
+	lineBytes := flag.Int("line-bytes", 128, "cache line size for footprint accounting")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: traceinfo [-line-bytes N] <trace file>...")
+		os.Exit(2)
+	}
+	exit := 0
+	for _, path := range flag.Args() {
+		if err := describe(path, *lineBytes); err != nil {
+			fmt.Fprintf(os.Stderr, "traceinfo: %s: %v\n", path, err)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+func describe(path string, lineBytes int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.ReadBinary(f)
+	if err == trace.ErrBadMagic {
+		if _, serr := f.Seek(0, 0); serr != nil {
+			return serr
+		}
+		tr, err = trace.ReadText(f)
+	}
+	if err != nil {
+		return err
+	}
+	s := tr.Summarize(lineBytes)
+	fmt.Printf("%s:\n", path)
+	fmt.Printf("  name            %s\n", tr.Name)
+	fmt.Printf("  records         %d\n", s.Records)
+	fmt.Printf("  threads         %d\n", tr.Threads)
+	fmt.Printf("  loads           %d (%.1f%%)\n", s.Loads, stats.Percent(uint64(s.Loads), uint64(s.Records)))
+	fmt.Printf("  stores          %d (%.1f%%)\n", s.Stores, stats.Percent(uint64(s.Stores), uint64(s.Records)))
+	fmt.Printf("  ifetches        %d (%.1f%%)\n", s.Ifetches, stats.Percent(uint64(s.Ifetches), uint64(s.Records)))
+	fmt.Printf("  distinct lines  %d (%.1f MB footprint)\n",
+		s.DistinctLines, float64(s.FootprintBytes(lineBytes))/(1<<20))
+	fmt.Printf("  mean gap        %.1f cycles\n", s.MeanGap)
+	min, max := s.Records, 0
+	for _, n := range s.PerThread {
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	fmt.Printf("  refs/thread     min %d, max %d\n", min, max)
+	return nil
+}

@@ -1,0 +1,121 @@
+// Package cmpcache is a trace-driven simulator of the chip
+// multiprocessor cache hierarchy from Speight, Shafi, Zhang and
+// Rajamony, "Adaptive Mechanisms and Policies for Managing Cache
+// Hierarchies in Chip Multiprocessors" (ISCA 2005), together with the
+// paper's two adaptive write-back management mechanisms:
+//
+//   - the Write Back History Table (WBHT), which suppresses clean L2
+//     write backs whose lines are predicted to already reside in the L3
+//     victim cache, gated by a bus-retry-rate switch; and
+//   - L2-to-L2 write-back snarfing, which lets peer L2 caches absorb
+//     evicted lines with demonstrated reuse, converting future L3 and
+//     memory accesses into fast on-chip cache-to-cache transfers.
+//
+// The simulated machine matches the paper's Table 3: eight 2-way SMT
+// cores, four shared sliced L2 caches behind core interface units, a
+// bi-directional intrachip ring with a central snoop collector, an
+// off-chip 16 MB L3 victim cache for both clean and dirty lines, and a
+// memory controller (contention-free latencies 20/77/167/431 cycles).
+//
+// # Quick start
+//
+//	cfg := cmpcache.DefaultConfig()               // Table 3 baseline
+//	cfg.Mechanism = cmpcache.WBHT                 // enable the history table
+//	tr, _ := cmpcache.GenerateWorkload("trade2")  // synthetic commercial trace
+//	res, err := cmpcache.Run(cfg, tr)
+//	if err != nil { ... }
+//	fmt.Println(res.Summary())
+//
+// The experiment harness that regenerates every table and figure of the
+// paper's evaluation lives in cmd/cmpbench; see EXPERIMENTS.md for the
+// paper-versus-measured record.
+package cmpcache
+
+import (
+	"cmpcache/internal/config"
+	"cmpcache/internal/system"
+	"cmpcache/internal/trace"
+	"cmpcache/internal/workload"
+)
+
+// Config parameterizes the simulated system; see the fields of
+// internal/config.Config (re-exported here as a type alias so the full
+// parameter surface is available without a second import path).
+type Config = config.Config
+
+// Mechanism selects the write-back management policy under test.
+type Mechanism = config.Mechanism
+
+// The four policies evaluated in the paper.
+const (
+	// Baseline writes every victim back toward the L3 (which squashes
+	// clean write backs it already holds).
+	Baseline = config.Baseline
+	// WBHT adds the Write Back History Table of Section 2.
+	WBHT = config.WBHT
+	// Snarf adds the L2-to-L2 write-back absorption of Section 3.
+	Snarf = config.Snarf
+	// Combined runs both with half-sized tables (Section 5.3).
+	Combined = config.Combined
+)
+
+// Trace is a replayable memory-reference workload.
+type Trace = trace.Trace
+
+// Record is a single memory reference within a Trace.
+type Record = trace.Record
+
+// Results carries every statistic a run produces, including the derived
+// metrics behind each of the paper's tables.
+type Results = system.Results
+
+// WorkloadProfile describes a synthetic workload; see
+// internal/workload.Profile for the region mixture model.
+type WorkloadProfile = workload.Profile
+
+// DefaultConfig returns the paper's Table 3 system with the baseline
+// write-back policy and six outstanding misses per thread.
+func DefaultConfig() Config { return config.Default() }
+
+// Run simulates tr on a system configured by cfg and returns the
+// complete statistics. It is deterministic: identical inputs yield
+// identical results.
+func Run(cfg Config, tr *Trace) (*Results, error) {
+	s, err := system.New(cfg, tr)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(), nil
+}
+
+// Workloads lists the built-in synthetic commercial workloads:
+// "tp", "cpw2", "notesbench" and "trade2".
+func Workloads() []string { return workload.Names() }
+
+// WorkloadByName returns the named built-in workload profile
+// (case-insensitive), which the caller may adjust before generating.
+func WorkloadByName(name string) (WorkloadProfile, error) {
+	return workload.ByName(name)
+}
+
+// GenerateWorkload synthesizes the named built-in workload trace at its
+// default length.
+func GenerateWorkload(name string) (*Trace, error) {
+	p, err := workload.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return p.Generate()
+}
+
+// GenerateWorkloadSized synthesizes the named workload with a specific
+// per-thread reference count (larger traces reduce warm-up effects at
+// the cost of simulation time).
+func GenerateWorkloadSized(name string, refsPerThread int) (*Trace, error) {
+	p, err := workload.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	p.RefsPerThread = refsPerThread
+	return p.Generate()
+}

@@ -1,0 +1,107 @@
+package cmpcache_test
+
+import (
+	"strings"
+	"testing"
+
+	"cmpcache"
+)
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	cfg := cmpcache.DefaultConfig()
+	if cfg.L2HitLatency() != 20 || cfg.L2ToL2Latency() != 77 ||
+		cfg.L3HitLatency() != 167 || cfg.MemLatency() != 431 {
+		t.Fatalf("Table 3 latencies broken: %d/%d/%d/%d",
+			cfg.L2HitLatency(), cfg.L2ToL2Latency(), cfg.L3HitLatency(), cfg.MemLatency())
+	}
+	if cfg.Mechanism != cmpcache.Baseline {
+		t.Fatal("default mechanism should be baseline")
+	}
+}
+
+func TestWorkloadsListed(t *testing.T) {
+	names := cmpcache.Workloads()
+	if len(names) != 4 {
+		t.Fatalf("Workloads = %v, want the paper's four", names)
+	}
+	for _, n := range names {
+		if _, err := cmpcache.WorkloadByName(n); err != nil {
+			t.Fatalf("WorkloadByName(%q): %v", n, err)
+		}
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	tr, err := cmpcache.GenerateWorkloadSized("trade2", 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cmpcache.Run(cmpcache.DefaultConfig(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 || res.RefsCompleted != uint64(len(tr.Records)) {
+		t.Fatalf("degenerate run: %d cycles, %d/%d refs",
+			res.Cycles, res.RefsCompleted, len(tr.Records))
+	}
+	if !strings.Contains(res.Summary(), "execution time") {
+		t.Fatal("Summary missing expected content")
+	}
+}
+
+func TestRunRejectsInvalidConfig(t *testing.T) {
+	tr, err := cmpcache.GenerateWorkloadSized("tp", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cmpcache.DefaultConfig()
+	cfg.MaxOutstanding = 0
+	if _, err := cmpcache.Run(cfg, tr); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestMechanismsAllRun(t *testing.T) {
+	tr, err := cmpcache.GenerateWorkloadSized("cpw2", 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := cmpcache.Run(cmpcache.DefaultConfig(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []cmpcache.Mechanism{cmpcache.WBHT, cmpcache.Snarf, cmpcache.Combined} {
+		res, err := cmpcache.Run(cmpcache.DefaultConfig().WithMechanism(m), tr)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if res.RefsCompleted != base.RefsCompleted {
+			t.Fatalf("%v completed %d refs, baseline %d",
+				m, res.RefsCompleted, base.RefsCompleted)
+		}
+	}
+}
+
+func TestGenerateWorkloadUnknown(t *testing.T) {
+	if _, err := cmpcache.GenerateWorkload("nope"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	tr, err := cmpcache.GenerateWorkloadSized("notesbench", 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := cmpcache.Run(cmpcache.DefaultConfig(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cmpcache.Run(cmpcache.DefaultConfig(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.WBRequests != b.WBRequests {
+		t.Fatal("identical inputs produced different results")
+	}
+}

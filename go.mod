@@ -1,0 +1,3 @@
+module cmpcache
+
+go 1.24

@@ -1,0 +1,361 @@
+// Package cache implements a generic set-associative tag store with
+// true-LRU replacement and state-aware victim search. It backs the L1
+// filter, the L2 and L3 cache models, and — because the paper organizes
+// them "just like a cache tag array" — the Write Back History Table and
+// the L2-snarf reuse table.
+//
+// The store maps 64-bit keys (line addresses, pre-shifted by the caller)
+// to a small per-line record: an int8 coherence state and a uint8 of
+// caller-defined flag bits. Within a set, ways are kept physically
+// ordered from MRU (index 0) to LRU (last index), so recency updates are
+// a short memmove and victim search is a scan of at most Assoc entries.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Line is one cache entry. Valid distinguishes a live entry from an
+// empty way; State and Flags are caller-defined.
+type Line struct {
+	Key   uint64
+	State int8
+	Flags uint8
+	Valid bool
+}
+
+// Cache is a set-associative store. It is not safe for concurrent use;
+// the simulator is single-threaded by design.
+type Cache struct {
+	sets    int
+	assoc   int
+	setMask uint64
+	lines   []Line // sets*assoc; set s occupies lines[s*assoc : (s+1)*assoc] in MRU->LRU order
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+// New returns a cache with the given geometry. sets must be a positive
+// power of two and assoc positive.
+func New(sets, assoc int) *Cache {
+	if sets <= 0 || bits.OnesCount(uint(sets)) != 1 {
+		panic(fmt.Sprintf("cache: sets = %d, must be a positive power of two", sets))
+	}
+	if assoc <= 0 {
+		panic(fmt.Sprintf("cache: assoc = %d, must be positive", assoc))
+	}
+	return &Cache{
+		sets:    sets,
+		assoc:   assoc,
+		setMask: uint64(sets - 1),
+		lines:   make([]Line, sets*assoc),
+	}
+}
+
+// Geometry accessors.
+func (c *Cache) Sets() int     { return c.sets }
+func (c *Cache) Assoc() int    { return c.assoc }
+func (c *Cache) Capacity() int { return c.sets * c.assoc }
+
+// Stats accessors. Hits and misses count Lookup results; evictions count
+// valid lines displaced by Insert.
+func (c *Cache) Hits() uint64      { return c.hits }
+func (c *Cache) Misses() uint64    { return c.misses }
+func (c *Cache) Evictions() uint64 { return c.evictions }
+
+// SetIndex returns the set a key maps to.
+func (c *Cache) SetIndex(key uint64) int { return int(key & c.setMask) }
+
+func (c *Cache) set(key uint64) []Line {
+	s := int(key&c.setMask) * c.assoc
+	return c.lines[s : s+c.assoc]
+}
+
+// find returns the way index of key within set, or -1.
+func find(set []Line, key uint64) int {
+	for i := range set {
+		if set[i].Valid && set[i].Key == key {
+			return i
+		}
+	}
+	return -1
+}
+
+// moveToFront rotates set[0..way] right by one, placing set[way] at MRU.
+func moveToFront(set []Line, way int) {
+	if way == 0 {
+		return
+	}
+	l := set[way]
+	copy(set[1:way+1], set[:way])
+	set[0] = l
+}
+
+// Lookup returns a pointer to the line holding key, or nil on miss. It
+// does not update recency; pair with Touch for a demand access. The
+// returned pointer is invalidated by any subsequent mutating call.
+func (c *Cache) Lookup(key uint64) *Line {
+	set := c.set(key)
+	if w := find(set, key); w >= 0 {
+		c.hits++
+		return &set[w]
+	}
+	c.misses++
+	return nil
+}
+
+// Contains reports whether key is present without touching hit/miss
+// statistics or recency (used for oracle "peeks", e.g. measuring WBHT
+// decision correctness against actual L3 contents).
+func (c *Cache) Contains(key uint64) bool {
+	return find(c.set(key), key) >= 0
+}
+
+// Peek is Contains returning the line value (zero Line when absent).
+func (c *Cache) Peek(key uint64) (Line, bool) {
+	set := c.set(key)
+	if w := find(set, key); w >= 0 {
+		return set[w], true
+	}
+	return Line{}, false
+}
+
+// Touch moves key to the MRU position, reporting whether it was present.
+func (c *Cache) Touch(key uint64) bool {
+	set := c.set(key)
+	w := find(set, key)
+	if w < 0 {
+		return false
+	}
+	moveToFront(set, w)
+	return true
+}
+
+// LookupTouch combines Lookup and Touch; on a hit the returned pointer
+// refers to the (now) MRU way.
+func (c *Cache) LookupTouch(key uint64) *Line {
+	set := c.set(key)
+	w := find(set, key)
+	if w < 0 {
+		c.misses++
+		return nil
+	}
+	c.hits++
+	moveToFront(set, w)
+	return &set[0]
+}
+
+// PeekVictim returns the line that Insert(key, ...) would displace: the
+// zero Line (Valid=false) when an invalid way exists, else the LRU line.
+func (c *Cache) PeekVictim(key uint64) Line {
+	set := c.set(key)
+	for i := range set {
+		if !set[i].Valid {
+			return Line{}
+		}
+	}
+	return set[len(set)-1]
+}
+
+// Insert places key with the given state, at MRU when atMRU is true and
+// at LRU otherwise, returning the valid line it displaced, if any. When
+// key is already present, its state is overwritten and the line's
+// recency updated per atMRU; no eviction occurs.
+func (c *Cache) Insert(key uint64, state int8, flags uint8, atMRU bool) (evicted Line, didEvict bool) {
+	set := c.set(key)
+	if w := find(set, key); w >= 0 {
+		set[w].State = state
+		set[w].Flags = flags
+		if atMRU {
+			moveToFront(set, w)
+		}
+		return Line{}, false
+	}
+	// Prefer an invalid way; otherwise displace the LRU way.
+	victim := -1
+	for i := range set {
+		if !set[i].Valid {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		victim = len(set) - 1
+		evicted = set[victim]
+		didEvict = true
+		c.evictions++
+	}
+	newLine := Line{Key: key, State: state, Flags: flags, Valid: true}
+	if atMRU {
+		// Shift [0, victim) right and place at front.
+		copy(set[1:victim+1], set[:victim])
+		set[0] = newLine
+	} else {
+		// Shift (victim, end] left and place at back.
+		copy(set[victim:], set[victim+1:])
+		set[len(set)-1] = newLine
+	}
+	return evicted, didEvict
+}
+
+// InsertPrefer is Insert with a victim-preference hook for the paper's
+// Section 7 history-informed replacement: when no invalid way exists,
+// the window LRU-most ways are scanned (LRU first) for a line the
+// predicate accepts — e.g. a clean line known to reside in the L3,
+// whose eviction costs neither a write back nor a memory access. When
+// none qualifies, the plain LRU way is displaced.
+func (c *Cache) InsertPrefer(key uint64, state int8, flags uint8, atMRU bool, window int, prefer func(Line) bool) (evicted Line, didEvict bool) {
+	set := c.set(key)
+	if w := find(set, key); w >= 0 {
+		set[w].State = state
+		set[w].Flags = flags
+		if atMRU {
+			moveToFront(set, w)
+		}
+		return Line{}, false
+	}
+	victim := -1
+	for i := range set {
+		if !set[i].Valid {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 && prefer != nil {
+		lo := len(set) - window
+		if lo < 0 {
+			lo = 0
+		}
+		for i := len(set) - 1; i >= lo; i-- {
+			if prefer(set[i]) {
+				victim = i
+				break
+			}
+		}
+	}
+	if victim < 0 {
+		victim = len(set) - 1
+	}
+	if set[victim].Valid {
+		evicted = set[victim]
+		didEvict = true
+		c.evictions++
+	}
+	newLine := Line{Key: key, State: state, Flags: flags, Valid: true}
+	if atMRU {
+		copy(set[1:victim+1], set[:victim])
+		set[0] = newLine
+	} else {
+		copy(set[victim:], set[victim+1:])
+		set[len(set)-1] = newLine
+	}
+	return evicted, didEvict
+}
+
+// Invalidate removes key, reporting whether it was present. The freed
+// way moves to the LRU end so it is reused first.
+func (c *Cache) Invalidate(key uint64) (Line, bool) {
+	set := c.set(key)
+	w := find(set, key)
+	if w < 0 {
+		return Line{}, false
+	}
+	old := set[w]
+	copy(set[w:], set[w+1:])
+	set[len(set)-1] = Line{}
+	return old, true
+}
+
+// SetState overwrites the state of key, reporting whether it was
+// present.
+func (c *Cache) SetState(key uint64, state int8) bool {
+	set := c.set(key)
+	w := find(set, key)
+	if w < 0 {
+		return false
+	}
+	set[w].State = state
+	return true
+}
+
+// ReplaceableWay searches the set key maps to for a way the caller may
+// displace without a demand miss: first any invalid way, then — scanning
+// from LRU toward MRU — a way whose state appears in okStates. It
+// returns the way index and the line currently there, or -1 when the set
+// offers no candidate. This implements the snarf-recipient victim policy
+// of Section 3 ("Our replacement algorithm first looks for invalid
+// lines. If none are found, we search for lines in the Shared state.").
+func (c *Cache) ReplaceableWay(key uint64, okStates ...int8) (int, Line) {
+	set := c.set(key)
+	for i := range set {
+		if !set[i].Valid {
+			return i, set[i]
+		}
+	}
+	for i := len(set) - 1; i >= 0; i-- {
+		for _, s := range okStates {
+			if set[i].State == s {
+				return i, set[i]
+			}
+		}
+	}
+	return -1, Line{}
+}
+
+// ReplaceWay overwrites the given way of key's set with key, placing it
+// at MRU or LRU per atMRU, and returns the displaced line. The caller is
+// responsible for having chosen way via ReplaceableWay.
+func (c *Cache) ReplaceWay(key uint64, way int, state int8, flags uint8, atMRU bool) Line {
+	set := c.set(key)
+	if way < 0 || way >= len(set) {
+		panic(fmt.Sprintf("cache: ReplaceWay way %d out of range", way))
+	}
+	old := set[way]
+	if old.Valid {
+		c.evictions++
+	}
+	newLine := Line{Key: key, State: state, Flags: flags, Valid: true}
+	if atMRU {
+		copy(set[1:way+1], set[:way])
+		set[0] = newLine
+	} else {
+		copy(set[way:], set[way+1:])
+		set[len(set)-1] = newLine
+	}
+	return old
+}
+
+// CountState returns how many valid lines currently hold the given
+// state. It is O(capacity) and intended for reports and tests.
+func (c *Cache) CountState(state int8) int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].Valid && c.lines[i].State == state {
+			n++
+		}
+	}
+	return n
+}
+
+// CountValid returns the number of valid lines.
+func (c *Cache) CountValid() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].Valid {
+			n++
+		}
+	}
+	return n
+}
+
+// ForEach invokes fn for every valid line in an unspecified order.
+func (c *Cache) ForEach(fn func(Line)) {
+	for i := range c.lines {
+		if c.lines[i].Valid {
+			fn(c.lines[i])
+		}
+	}
+}

@@ -1,0 +1,307 @@
+package coherence
+
+import "fmt"
+
+// Response is one bus agent's snoop reply to a transaction.
+type Response int8
+
+const (
+	// RespNull: the agent has nothing to contribute.
+	RespNull Response = iota
+	// RespRetry: the agent lacks resources to process the transaction
+	// now; the requester must re-arbitrate (e.g. the L3's incoming data
+	// queue is full).
+	RespRetry
+	// RespShared: the agent holds a clean copy it cannot supply (S).
+	RespShared
+	// RespSharedIntervention: the agent holds a clean copy and will
+	// supply it (SL or E holder).
+	RespSharedIntervention
+	// RespModifiedIntervention: the agent holds the dirty copy and will
+	// supply it (M or T holder).
+	RespModifiedIntervention
+	// RespL3Hit: the L3 directory holds the line and can supply it.
+	RespL3Hit
+	// RespMemAck: the memory controller can service the request
+	// (always true for demand requests reaching it with queue space).
+	RespMemAck
+	// RespWBSquash: a peer L2 already holds the line valid, so the write
+	// back is cancelled outright (snarf-mode squash, Section 3).
+	RespWBSquash
+	// RespWBRedundant: the L3 already holds the line valid (the baseline
+	// clean-write-back filter). Unlike a peer squash, this ranks below a
+	// snarf accept: moving the line into a peer L2 still converts future
+	// L3 hits into faster L2-to-L2 transfers.
+	RespWBRedundant
+	// RespWBAccept: the L3 will absorb the write back.
+	RespWBAccept
+	// RespSnarfAccept: a peer L2 is able and willing to absorb the
+	// write back (Section 3's special snoop reply).
+	RespSnarfAccept
+
+	numResponses
+)
+
+// String returns the response mnemonic.
+func (r Response) String() string {
+	switch r {
+	case RespNull:
+		return "NULL"
+	case RespRetry:
+		return "RETRY"
+	case RespShared:
+		return "SHARED"
+	case RespSharedIntervention:
+		return "SHARED_INTV"
+	case RespModifiedIntervention:
+		return "MOD_INTV"
+	case RespL3Hit:
+		return "L3_HIT"
+	case RespMemAck:
+		return "MEM_ACK"
+	case RespWBSquash:
+		return "WB_SQUASH"
+	case RespWBRedundant:
+		return "WB_REDUNDANT"
+	case RespWBAccept:
+		return "WB_ACCEPT"
+	case RespSnarfAccept:
+		return "SNARF_ACCEPT"
+	default:
+		return fmt.Sprintf("Response(%d)", int8(r))
+	}
+}
+
+// Source identifies where a demand request's data will come from.
+type Source int8
+
+const (
+	// SourceNone: the transaction completed without a data transfer
+	// (upgrades, squashed write backs) or must be retried.
+	SourceNone Source = iota
+	// SourcePeerL2: an on-chip peer L2 supplies via intervention.
+	SourcePeerL2
+	// SourceL3: the off-chip L3 victim cache supplies.
+	SourceL3
+	// SourceMemory: main memory supplies.
+	SourceMemory
+)
+
+// String returns the source mnemonic.
+func (s Source) String() string {
+	switch s {
+	case SourceNone:
+		return "none"
+	case SourcePeerL2:
+		return "peer-l2"
+	case SourceL3:
+		return "l3"
+	case SourceMemory:
+		return "memory"
+	default:
+		return fmt.Sprintf("Source(%d)", int8(s))
+	}
+}
+
+// Outcome is the Snoop Collector's combined response, broadcast to all
+// agents.
+type Outcome struct {
+	// Retry: the transaction must re-arbitrate after a backoff.
+	Retry bool
+	// Source and SourceAgent say who supplies data for a demand request.
+	// SourceAgent is a peer L2 index when Source == SourcePeerL2, else -1.
+	Source      Source
+	SourceAgent int
+	// SharedElsewhere: at least one other cache retains a valid copy, so
+	// the requester must install S/SL rather than E/M-exclusive.
+	SharedElsewhere bool
+	// DirtySource: the supplying peer held the line dirty (M or T). The
+	// supplier retains the write-back obligation (it transitions to T on
+	// a Read snoop); the flag lets the orchestrator apply the right
+	// state transitions at both ends.
+	DirtySource bool
+	// L3Valid: the L3 held the line valid at snoop time (drives WBHT
+	// allocation for write backs per Section 2, step 3).
+	L3Valid bool
+	// WB disposition for write-back transactions.
+	WBSquashed   bool // line already valid elsewhere; write back cancelled
+	SquashedByL3 bool // the squash came from the L3 redundancy filter
+	WBSnarfed    bool // a peer L2 absorbs the line
+	SnarfWinner  int  // peer L2 index when WBSnarfed, else -1
+	WBToL3       bool // the L3 absorbs the line
+}
+
+// AgentResponse pairs an agent's identity with its snoop response.
+// Agents are the 4 L2 caches (IDs 0..NumL2-1), the L3 controller and the
+// memory controller (any IDs distinct from L2s).
+type AgentResponse struct {
+	Agent int
+	Resp  Response
+}
+
+// Collector is the chip's Snoop Collector: it combines per-agent snoop
+// responses into an Outcome and arbitrates snarf winners in a fair
+// round-robin fashion across L2 caches (Section 3).
+type Collector struct {
+	rrNext int // next L2 index favored for snarf wins
+
+	combined   uint64
+	retries    uint64
+	snarfArbs  uint64
+	snarfMulti uint64 // arbitrations with >1 willing acceptor
+}
+
+// NewCollector returns a Collector starting its round-robin at L2 0.
+func NewCollector() *Collector { return &Collector{} }
+
+// Stats accessors.
+func (c *Collector) Combined() uint64        { return c.combined }
+func (c *Collector) Retries() uint64         { return c.retries }
+func (c *Collector) SnarfArbitrated() uint64 { return c.snarfArbs }
+func (c *Collector) SnarfContended() uint64  { return c.snarfMulti }
+
+// Combine folds the individual snoop responses for one transaction into
+// the final combined response seen by all bus agents.
+//
+// Demand requests (Read/RWITM/Upgrade): any RespRetry forces a retry;
+// otherwise a dirty intervention outranks a clean intervention, which
+// outranks an L3 hit, which outranks memory.
+//
+// Write backs (CleanWB/DirtyWB): a peer-L2 squash (the line is already
+// on chip) cancels the write back outright; a willing snarfer (chosen
+// round-robin when several volunteer) comes next — it outranks the L3's
+// redundancy squash because moving the line on chip converts future L3
+// hits into faster L2-to-L2 transfers; then the L3 redundancy squash;
+// then an L3 accept; and finally a retry when the L3 had no queue space
+// and nobody else took the line.
+func (c *Collector) Combine(kind TxnKind, responses []AgentResponse) Outcome {
+	c.combined++
+	out := Outcome{SourceAgent: -1, SnarfWinner: -1}
+	for _, ar := range responses {
+		if ar.Resp == RespL3Hit {
+			out.L3Valid = true
+		}
+	}
+	if kind.IsDemand() {
+		out = c.combineDemand(out, responses)
+	} else {
+		out = c.combineWriteBack(out, responses)
+	}
+	if out.Retry {
+		c.retries++
+	}
+	return out
+}
+
+func (c *Collector) combineDemand(out Outcome, responses []AgentResponse) Outcome {
+	bestRank := 0 // 0 none < 1 mem < 2 l3 < 3 shared-intv < 4 mod-intv
+	for _, ar := range responses {
+		switch ar.Resp {
+		case RespRetry:
+			out.Retry = true
+		case RespShared:
+			out.SharedElsewhere = true
+		case RespSharedIntervention:
+			out.SharedElsewhere = true
+			if bestRank < 3 {
+				bestRank = 3
+				out.Source = SourcePeerL2
+				out.SourceAgent = ar.Agent
+			}
+		case RespModifiedIntervention:
+			out.SharedElsewhere = true
+			if bestRank < 4 {
+				bestRank = 4
+				out.Source = SourcePeerL2
+				out.SourceAgent = ar.Agent
+				out.DirtySource = true
+			}
+		case RespL3Hit:
+			if bestRank < 2 {
+				bestRank = 2
+				out.Source = SourceL3
+				out.SourceAgent = -1
+			}
+		case RespMemAck:
+			if bestRank < 1 {
+				bestRank = 1
+				out.Source = SourceMemory
+				out.SourceAgent = -1
+			}
+		}
+	}
+	if out.Retry {
+		out.Source = SourceNone
+		out.SourceAgent = -1
+		out.DirtySource = false
+	}
+	return out
+}
+
+func (c *Collector) combineWriteBack(out Outcome, responses []AgentResponse) Outcome {
+	var snarfers []int
+	peerSquash := false
+	l3Redundant := false
+	l3Accept := false
+	l3Retry := false
+	for _, ar := range responses {
+		switch ar.Resp {
+		case RespWBSquash:
+			peerSquash = true
+		case RespWBRedundant:
+			l3Redundant = true
+		case RespSnarfAccept:
+			snarfers = append(snarfers, ar.Agent)
+		case RespWBAccept:
+			l3Accept = true
+		case RespRetry:
+			l3Retry = true
+		}
+	}
+	switch {
+	case peerSquash:
+		// Nothing further: losers (snarf volunteers, the L3) observe the
+		// combined response and release reserved resources.
+		out.WBSquashed = true
+	case len(snarfers) > 0:
+		out.WBSnarfed = true
+		out.SnarfWinner = c.arbitrate(snarfers)
+	case l3Redundant:
+		out.WBSquashed = true
+		out.SquashedByL3 = true
+	case l3Accept:
+		out.WBToL3 = true
+	case l3Retry:
+		out.Retry = true
+	default:
+		// No responder at all (memory absorbs dirty write backs when the
+		// L3 declines in some protocols); we model the paper's choice of
+		// a retry bus response instead.
+		out.Retry = true
+	}
+	return out
+}
+
+// arbitrate picks a snarf winner from candidate L2 indices in fair
+// round-robin order: the first candidate at or after rrNext cyclically.
+func (c *Collector) arbitrate(candidates []int) int {
+	c.snarfArbs++
+	if len(candidates) > 1 {
+		c.snarfMulti++
+	}
+	best := -1
+	bestDist := int(^uint(0) >> 1)
+	for _, cand := range candidates {
+		// Distance from rrNext going upward, wrapping at a large modulus;
+		// we do not know NumL2 here, so wrap using the max candidate+1
+		// space. Distances are computed modulo a bound above any agent id.
+		const wrap = 1 << 16
+		d := (cand - c.rrNext + wrap) % wrap
+		if d < bestDist {
+			bestDist = d
+			best = cand
+		}
+	}
+	c.rrNext = best + 1
+	return best
+}

@@ -1,0 +1,131 @@
+// Package coherence defines the POWER4-style cache-coherence vocabulary
+// used by the simulated CMP: line states (MESI extended with the SL
+// "shared-last" and T "tagged" states that enable clean- and dirty-line
+// interventions), bus transaction kinds, per-agent snoop responses, and
+// the Snoop Collector that combines responses and arbitrates write-back
+// snarfing. Everything here is pure logic with no notion of time.
+package coherence
+
+import "fmt"
+
+// State is an L2 line's coherence state.
+//
+// The paper's protocol is "an extension of that found in IBM's POWER4
+// systems, which supports cache-to-cache transfers (interventions) for
+// all dirty lines and a subset of lines in the shared state". We model
+// that subset with SL: among the caches sharing a clean line, exactly
+// one (the most recent reader) holds it in SL and answers interventions;
+// the rest hold plain S, which cannot supply data. T is the dirty
+// analogue: a modified line that has been read by others stays dirty in
+// the reader-supplying cache as T and is written back on eviction.
+type State int8
+
+const (
+	// Invalid: no data.
+	Invalid State = iota
+	// Shared: clean, other caches may hold copies; cannot supply
+	// interventions.
+	Shared
+	// SharedLast: clean, shared, and designated supplier for
+	// cache-to-cache transfers (the POWER4 SL state).
+	SharedLast
+	// Exclusive: clean, only cached copy on the chip.
+	Exclusive
+	// Modified: dirty, only cached copy.
+	Modified
+	// Tagged: dirty and shared; this cache supplies interventions and
+	// owns the write-back obligation (the POWER4 T state).
+	Tagged
+
+	numStates
+)
+
+// String returns the conventional short name.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case SharedLast:
+		return "SL"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	case Tagged:
+		return "T"
+	default:
+		return fmt.Sprintf("State(%d)", int8(s))
+	}
+}
+
+// Valid reports whether the state holds data.
+func (s State) Valid() bool { return s > Invalid && s < numStates }
+
+// Dirty reports whether eviction of a line in this state requires a
+// dirty write back (the line is the only up-to-date copy vs memory/L3).
+func (s State) Dirty() bool { return s == Modified || s == Tagged }
+
+// CanIntervene reports whether a cache holding this state supplies data
+// to a snooped demand request (all dirty lines plus the SL/E clean
+// states).
+func (s State) CanIntervene() bool {
+	switch s {
+	case SharedLast, Exclusive, Modified, Tagged:
+		return true
+	default:
+		return false
+	}
+}
+
+// SoleCopy reports whether the protocol guarantees no other cache holds
+// the line (used by the snarf victim policy: Exclusive lines are "not a
+// logical choice for replacement").
+func (s State) SoleCopy() bool { return s == Exclusive || s == Modified }
+
+// TxnKind is a bus transaction type on the intrachip ring.
+type TxnKind int8
+
+const (
+	// Read requests a line for loading (or instruction fetch).
+	Read TxnKind = iota
+	// RWITM (read-with-intent-to-modify) requests a line for storing,
+	// invalidating all other copies.
+	RWITM
+	// Upgrade claims ownership of a line already held Shared/SharedLast,
+	// invalidating other copies without a data transfer (DClaim).
+	Upgrade
+	// CleanWB writes a clean victim toward the L3 victim cache.
+	CleanWB
+	// DirtyWB writes a dirty victim (castout) toward the L3.
+	DirtyWB
+
+	numTxnKinds
+)
+
+// String returns the transaction mnemonic.
+func (k TxnKind) String() string {
+	switch k {
+	case Read:
+		return "READ"
+	case RWITM:
+		return "RWITM"
+	case Upgrade:
+		return "UPGRADE"
+	case CleanWB:
+		return "CLEAN_WB"
+	case DirtyWB:
+		return "DIRTY_WB"
+	default:
+		return fmt.Sprintf("TxnKind(%d)", int8(k))
+	}
+}
+
+// IsWriteBack reports whether the transaction carries a victim line out
+// of an L2.
+func (k TxnKind) IsWriteBack() bool { return k == CleanWB || k == DirtyWB }
+
+// IsDemand reports whether the transaction is a demand miss requiring
+// data (Read/RWITM) or ownership (Upgrade).
+func (k TxnKind) IsDemand() bool { return k == Read || k == RWITM || k == Upgrade }

@@ -1,0 +1,58 @@
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// MarshalText renders a Mechanism by name so configurations serialize
+// readably ("wbht", not 1).
+func (m Mechanism) MarshalText() ([]byte, error) {
+	if m < Baseline || m > Combined {
+		return nil, fmt.Errorf("config: cannot marshal unknown mechanism %d", int(m))
+	}
+	return []byte(m.String()), nil
+}
+
+// UnmarshalText parses a mechanism name (case-insensitive). "baseline"
+// is accepted as an alias of "base".
+func (m *Mechanism) UnmarshalText(b []byte) error {
+	switch strings.ToLower(string(b)) {
+	case "base", "baseline":
+		*m = Baseline
+	case "wbht":
+		*m = WBHT
+	case "snarf":
+		*m = Snarf
+	case "combined":
+		*m = Combined
+	default:
+		return fmt.Errorf("config: unknown mechanism %q (want base, wbht, snarf, combined)", b)
+	}
+	return nil
+}
+
+// WriteJSON serializes the configuration, indented for human editing.
+func (c Config) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// ReadJSON parses a configuration written by WriteJSON (or hand-edited),
+// starting from Default() so omitted fields keep their paper values, and
+// validates the result.
+func ReadJSON(r io.Reader) (Config, error) {
+	cfg := Default()
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return Config{}, fmt.Errorf("config: parsing JSON: %w", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}

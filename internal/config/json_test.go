@@ -1,0 +1,84 @@
+package config
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := Default().WithMechanism(Combined)
+	orig.MaxOutstanding = 3
+	orig.WBHT.GlobalAllocate = true
+	orig.WBHT.LinesPerEntry = 4
+	orig.Snarf.InsertMRU = false
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != orig {
+		t.Fatalf("round trip mismatch:\norig %+v\ngot  %+v", orig, got)
+	}
+}
+
+func TestJSONMechanismByName(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Default().WithMechanism(Snarf).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"snarf"`) {
+		t.Fatalf("mechanism not serialized by name:\n%s", buf.String())
+	}
+}
+
+func TestJSONPartialOverridesDefaults(t *testing.T) {
+	in := `{"Mechanism": "wbht", "MaxOutstanding": 2}`
+	cfg, err := ReadJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Mechanism != WBHT || cfg.MaxOutstanding != 2 {
+		t.Fatalf("overrides not applied: %+v", cfg)
+	}
+	// Untouched fields keep Table 3 values.
+	if cfg.L3HitLatency() != 167 || cfg.L2Assoc != 8 {
+		t.Fatal("defaults lost on partial parse")
+	}
+}
+
+func TestJSONRejectsUnknownFields(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader(`{"Mechansim": "wbht"}`)); err == nil {
+		t.Fatal("typo field accepted")
+	}
+}
+
+func TestJSONRejectsInvalidConfig(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader(`{"MaxOutstanding": 0}`)); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestJSONRejectsUnknownMechanism(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader(`{"Mechanism": "magic"}`)); err == nil {
+		t.Fatal("unknown mechanism accepted")
+	}
+}
+
+func TestMechanismMarshalUnknown(t *testing.T) {
+	if _, err := Mechanism(99).MarshalText(); err == nil {
+		t.Fatal("unknown mechanism marshaled")
+	}
+}
+
+func TestMechanismUnmarshalAliases(t *testing.T) {
+	var m Mechanism
+	for _, alias := range []string{"BASE", "baseline", "Base"} {
+		if err := m.UnmarshalText([]byte(alias)); err != nil || m != Baseline {
+			t.Fatalf("alias %q: %v -> %v", alias, err, m)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+
+	"cmpcache/internal/config"
+)
+
+// Tests for the Section 7 extensions: coarse-grained WBHT entries and
+// the inputs behind history-informed replacement.
+
+func coarseCfg(entries, assoc, gran int) config.WBHTConfig {
+	c := config.DefaultWBHT()
+	c.Entries = entries
+	c.Assoc = assoc
+	c.LinesPerEntry = gran
+	return c
+}
+
+func TestCoarseWBHTOneEntryCoversGroup(t *testing.T) {
+	w := NewWBHT(coarseCfg(64, 4, 4))
+	w.Allocate(100) // group 25 covers lines 100..103
+	for key := uint64(100); key < 104; key++ {
+		if !w.Contains(key) {
+			t.Fatalf("line %d not covered by its group entry", key)
+		}
+	}
+	if w.Contains(104) {
+		t.Fatal("adjacent group falsely covered")
+	}
+	if w.Contains(99) {
+		t.Fatal("preceding group falsely covered")
+	}
+}
+
+func TestCoarseWBHTAbortsForNeighbors(t *testing.T) {
+	w := NewWBHT(coarseCfg(64, 4, 8))
+	w.Allocate(0)
+	// All eight lines of group 0 now advise abort — the coverage win and
+	// the misprediction risk in one behavior.
+	for key := uint64(0); key < 8; key++ {
+		if !w.ShouldAbort(key) {
+			t.Fatalf("line %d in allocated group did not abort", key)
+		}
+	}
+	if w.ShouldAbort(8) {
+		t.Fatal("line outside group aborted")
+	}
+}
+
+func TestCoarseWBHTCapacityAmplification(t *testing.T) {
+	// With 4 lines/entry, a 16-entry table covers 64 lines without any
+	// entry eviction when allocations are group-aligned.
+	w := NewWBHT(coarseCfg(16, 4, 4))
+	for key := uint64(0); key < 64; key += 4 {
+		w.Allocate(key)
+	}
+	if w.Occupancy() != 16 {
+		t.Fatalf("occupancy = %d, want 16 (one entry per group)", w.Occupancy())
+	}
+	for key := uint64(0); key < 64; key++ {
+		if !w.Contains(key) {
+			t.Fatalf("line %d lost despite sufficient coarse capacity", key)
+		}
+	}
+}
+
+func TestCoarseWBHTGranularityOneIsExact(t *testing.T) {
+	fine := NewWBHT(coarseCfg(64, 4, 1))
+	fine.Allocate(100)
+	if fine.Contains(101) {
+		t.Fatal("granularity-1 table covered a neighbor")
+	}
+}
+
+func TestCoarseWBHTInvalidate(t *testing.T) {
+	w := NewWBHT(coarseCfg(64, 4, 4))
+	w.Allocate(100)
+	w.Invalidate(102) // any line of the group drops the shared entry
+	if w.Contains(100) {
+		t.Fatal("group entry survived invalidation via sibling line")
+	}
+}
+
+func TestCoarseConfigValidation(t *testing.T) {
+	cfg := config.Default().WithMechanism(config.WBHT)
+	cfg.WBHT.LinesPerEntry = 3
+	if cfg.Validate() == nil {
+		t.Fatal("non-power-of-two LinesPerEntry accepted")
+	}
+	cfg.WBHT.LinesPerEntry = 4
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("valid coarse config rejected: %v", err)
+	}
+	// Granularity is irrelevant when the mechanism is off.
+	base := config.Default()
+	base.WBHT.LinesPerEntry = 0
+	if err := base.Validate(); err != nil {
+		t.Fatalf("baseline rejected for unused granularity: %v", err)
+	}
+}

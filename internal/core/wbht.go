@@ -1,0 +1,131 @@
+// Package core implements the paper's primary contribution: the
+// adaptive write-back management structures added to each L2 cache.
+//
+//   - WBHT, the Write Back History Table (Section 2): a cache-organized
+//     tag table recording lines recently observed valid in the L3, used
+//     to abort unnecessary clean write backs.
+//   - RetrySwitch (Section 2.2): the bus-retry-rate on/off switch that
+//     keeps the WBHT from hurting performance when memory pressure is
+//     low.
+//   - SnarfTable (Section 3): a tag+use-bit table tracking lines that
+//     were written back and later missed on, identifying high-reuse
+//     lines whose write backs should be offered to peer L2 caches.
+//
+// All three are pure state machines over line addresses; the bus
+// protocol that feeds them lives in internal/system.
+package core
+
+import (
+	"math/bits"
+
+	"cmpcache/internal/cache"
+	"cmpcache/internal/config"
+)
+
+// WBHT is the Write Back History Table associated with one L2 cache. It
+// is "organized and accessed just like a cache tag array" (Section 2):
+// set-associative with LRU replacement, storing only tags. An entry for
+// line X means the combined snoop response recently revealed X valid in
+// the L3, so writing X back again would be unnecessary.
+//
+// The table is a performance hint, never a correctness structure: its
+// contents may diverge from the true L3 contents (L3 capacity evictions,
+// WBHT entry replacement), which only costs latency on a mispredict.
+type WBHT struct {
+	table *cache.Cache
+
+	// granShift implements the Section 7 coarse-entry extension: tags
+	// are line keys shifted right by log2(LinesPerEntry), so one entry
+	// covers a naturally aligned group of lines. Coverage grows; so does
+	// the chance that a hit reflects a neighbor rather than the line
+	// itself (the paper's "risk of increased prediction errors").
+	granShift uint
+
+	allocations uint64
+	consults    uint64
+	hits        uint64
+	correct     uint64
+	wrong       uint64
+}
+
+// NewWBHT builds a table from cfg (entries/assoc validated by
+// config.Validate; entries/assoc sets must be a power of two,
+// LinesPerEntry a power of two).
+func NewWBHT(cfg config.WBHTConfig) *WBHT {
+	gran := cfg.LinesPerEntry
+	if gran <= 0 {
+		gran = 1
+	}
+	return &WBHT{
+		table:     cache.New(cfg.Entries/cfg.Assoc, cfg.Assoc),
+		granShift: uint(bits.TrailingZeros(uint(gran))),
+	}
+}
+
+// tag maps a line key to its (possibly coarse) table tag.
+func (w *WBHT) tag(key uint64) uint64 { return key >> w.granShift }
+
+// Allocate records that line key was observed valid in the L3 (step 3 of
+// the Section 2 protocol: executed when the combined bus response for a
+// clean write back indicates an L3 hit). Allocation inserts at MRU; an
+// existing entry is refreshed.
+func (w *WBHT) Allocate(key uint64) {
+	w.allocations++
+	w.table.Insert(w.tag(key), 0, 0, true)
+}
+
+// ShouldAbort consults the table for a clean write back of line key
+// (step 4): a hit means the write back is deemed unnecessary. The entry
+// is touched so recently-useful hints survive LRU replacement.
+func (w *WBHT) ShouldAbort(key uint64) bool {
+	w.consults++
+	if w.table.LookupTouch(w.tag(key)) != nil {
+		w.hits++
+		return true
+	}
+	return false
+}
+
+// Contains reports whether key currently has an entry, without touching
+// recency or statistics (test/inspection hook).
+func (w *WBHT) Contains(key uint64) bool { return w.table.Contains(w.tag(key)) }
+
+// Invalidate drops the entry for key if present. The baseline mechanism
+// never calls this — divergence is tolerated by design — but it is used
+// by the "sync on L3 eviction" ablation.
+func (w *WBHT) Invalidate(key uint64) { w.table.Invalidate(w.tag(key)) }
+
+// RecordDecision scores one consult against ground truth (the simulator
+// peeks into the L3 at decision time, exactly as the paper measures its
+// "WBHT Correct" column in Table 4). aborted is the table's decision;
+// inL3 is the oracle.
+func (w *WBHT) RecordDecision(aborted, inL3 bool) {
+	if aborted == inL3 {
+		w.correct++
+	} else {
+		w.wrong++
+	}
+}
+
+// Entries returns the table capacity.
+func (w *WBHT) Entries() int { return w.table.Capacity() }
+
+// Occupancy returns the number of live entries.
+func (w *WBHT) Occupancy() int { return w.table.CountValid() }
+
+// Stats accessors.
+func (w *WBHT) Allocations() uint64 { return w.allocations }
+func (w *WBHT) Consults() uint64    { return w.consults }
+func (w *WBHT) Hits() uint64        { return w.hits }
+func (w *WBHT) Correct() uint64     { return w.correct }
+func (w *WBHT) Wrong() uint64       { return w.wrong }
+
+// CorrectRate returns the fraction of scored decisions that matched the
+// oracle, in [0,1]; 0 when nothing was scored.
+func (w *WBHT) CorrectRate() float64 {
+	total := w.correct + w.wrong
+	if total == 0 {
+		return 0
+	}
+	return float64(w.correct) / float64(total)
+}

@@ -1,0 +1,178 @@
+// Package cpu models the processor front end of the simulated CMP: the
+// sixteen SMT hardware threads that replay L2-traffic traces against the
+// cache hierarchy, each limited to a configurable number of outstanding
+// misses — the memory-pressure parameter the paper sweeps from one to
+// six in every figure ("One parameter we vary is the maximum number of
+// outstanding read and write misses per thread").
+//
+// A thread issues its references in order, separated by the per-record
+// compute gaps captured in the trace. An access occupies one of the
+// thread's outstanding-miss slots from issue until the hierarchy
+// reports completion; when all slots are busy the thread stalls. This
+// reproduces the paper's load/store-queue abstraction without modeling
+// instruction execution.
+package cpu
+
+import (
+	"math/bits"
+
+	"cmpcache/internal/config"
+	"cmpcache/internal/sim"
+	"cmpcache/internal/trace"
+)
+
+// IssueFunc submits one reference to the memory hierarchy. key is the
+// line address (byte address pre-shifted by the line size); done must be
+// called exactly once, at the simulation time the access completes.
+type IssueFunc func(tid int, op trace.Op, key uint64, done func(config.Cycles))
+
+// thread is one SMT hardware context.
+type thread struct {
+	id          int
+	recs        []trace.Record
+	idx         int
+	outstanding int
+	lastIssue   config.Cycles
+	wakePending bool
+	done        bool
+
+	issued    uint64
+	completed uint64
+	finish    config.Cycles
+}
+
+// Complex is the full set of hardware threads bound to an engine and an
+// issue path.
+type Complex struct {
+	engine    *sim.Engine
+	issue     IssueFunc
+	threads   []*thread
+	lineShift uint
+	max       int
+	active    int
+	finish    config.Cycles
+}
+
+// New builds a thread complex. streams[i] is thread i's reference
+// stream (use trace.Trace.PerThread); cfg supplies the line size and the
+// outstanding-miss limit.
+func New(engine *sim.Engine, cfg *config.Config, streams [][]trace.Record, issue IssueFunc) *Complex {
+	if issue == nil {
+		panic("cpu: nil issue function")
+	}
+	c := &Complex{
+		engine:    engine,
+		issue:     issue,
+		lineShift: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+		max:       cfg.MaxOutstanding,
+	}
+	for i, recs := range streams {
+		th := &thread{id: i, recs: recs}
+		if len(recs) == 0 {
+			th.done = true
+		} else {
+			c.active++
+		}
+		c.threads = append(c.threads, th)
+	}
+	return c
+}
+
+// Start schedules each thread's first issue attempt at cycle zero.
+func (c *Complex) Start() {
+	for _, th := range c.threads {
+		if !th.done {
+			th := th
+			c.engine.Schedule(0, func() { c.tryIssue(th) })
+		}
+	}
+}
+
+// tryIssue drains as many references as the thread's gap schedule and
+// outstanding-miss budget allow, then either parks until the next
+// eligible time or waits for a completion to wake it.
+func (c *Complex) tryIssue(th *thread) {
+	th.wakePending = false
+	now := c.engine.Now()
+	for th.idx < len(th.recs) && th.outstanding < c.max {
+		r := th.recs[th.idx]
+		eligible := th.lastIssue + config.Cycles(r.Gap)
+		if eligible > now {
+			if !th.wakePending {
+				th.wakePending = true
+				c.engine.At(eligible, func() { c.tryIssue(th) })
+			}
+			return
+		}
+		th.idx++
+		th.outstanding++
+		th.issued++
+		th.lastIssue = now
+		key := r.Addr >> c.lineShift
+		c.issue(th.id, r.Op, key, func(at config.Cycles) { c.complete(th, at) })
+		now = c.engine.Now() // issue may run nested events
+	}
+	c.checkDone(th, now)
+}
+
+// complete returns an outstanding-miss slot and re-attempts issue.
+func (c *Complex) complete(th *thread, at config.Cycles) {
+	if th.outstanding <= 0 {
+		panic("cpu: completion without outstanding access")
+	}
+	th.outstanding--
+	th.completed++
+	if at > th.finish {
+		th.finish = at
+	}
+	c.tryIssue(th)
+}
+
+func (c *Complex) checkDone(th *thread, now config.Cycles) {
+	if th.done || th.idx < len(th.recs) || th.outstanding > 0 {
+		return
+	}
+	th.done = true
+	c.active--
+	if th.finish > c.finish {
+		c.finish = th.finish
+	}
+	if now > c.finish {
+		c.finish = now
+	}
+}
+
+// Done reports whether every thread has drained its stream.
+func (c *Complex) Done() bool { return c.active == 0 }
+
+// FinishTime returns the cycle the last reference completed (valid once
+// Done).
+func (c *Complex) FinishTime() config.Cycles { return c.finish }
+
+// Issued returns total references issued across threads.
+func (c *Complex) Issued() uint64 {
+	var n uint64
+	for _, th := range c.threads {
+		n += th.issued
+	}
+	return n
+}
+
+// Completed returns total references completed across threads.
+func (c *Complex) Completed() uint64 {
+	var n uint64
+	for _, th := range c.threads {
+		n += th.completed
+	}
+	return n
+}
+
+// Outstanding returns the current number of in-flight accesses (test
+// and diagnostics hook).
+func (c *Complex) Outstanding() int {
+	n := 0
+	for _, th := range c.threads {
+		n += th.outstanding
+	}
+	return n
+}

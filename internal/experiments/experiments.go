@@ -1,0 +1,216 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 5) on the simulator, printing paper-reported
+// values alongside measured ones. Results are cached per configuration
+// within a Runner, so the baseline runs that several experiments share
+// execute once.
+//
+// Absolute magnitudes differ from the paper by construction — the
+// original traces are proprietary captures billions of references long,
+// ours are synthetic and ~10^3 times shorter — so each artifact is
+// judged on shape: orderings across workloads, signs of improvements,
+// where curves rise with memory pressure, and where they saturate.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"cmpcache/internal/config"
+	"cmpcache/internal/system"
+	"cmpcache/internal/trace"
+	"cmpcache/internal/workload"
+)
+
+// Workloads in the paper's presentation order.
+var Workloads = []string{"cpw2", "notesbench", "tp", "trade2"}
+
+// Outstanding-miss sweep of Figures 2, 3, 5 and 7.
+var OutstandingSweep = []int{1, 2, 3, 4, 5, 6}
+
+// Table-size sweep of Figures 4 and 6 (entries).
+var TableSizeSweep = []int{512, 1024, 2048, 4096, 8192, 16384, 32768, 65536}
+
+// Options controls experiment scale and output format.
+type Options struct {
+	// RefsPerThread overrides the workload length (0 = profile default).
+	RefsPerThread int
+	// Quick trims sweeps (outstanding {1,2,4,6}, sizes {512,2K,8K,32K})
+	// for a fast end-to-end pass.
+	Quick bool
+	// CSV selects CSV output instead of markdown.
+	CSV bool
+}
+
+func (o Options) outstanding() []int {
+	if o.Quick {
+		return []int{1, 2, 4, 6}
+	}
+	return OutstandingSweep
+}
+
+func (o Options) tableSizes() []int {
+	if o.Quick {
+		return []int{512, 2048, 8192, 32768}
+	}
+	return TableSizeSweep
+}
+
+// runKey identifies a unique simulation configuration.
+type runKey struct {
+	workload     string
+	mech         config.Mechanism
+	outstanding  int
+	wbhtEntries  int
+	snarfEntries int
+	global       bool
+	noSwitch     bool
+	snarfLRU     bool
+	invalidOnly  bool
+	coarse       int  // WBHT LinesPerEntry override (0 = 1)
+	historyRepl  bool // WBHT-informed L2 replacement (Section 7)
+}
+
+// Runner executes and caches simulation runs for the experiment set.
+type Runner struct {
+	opts   Options
+	traces map[string]*trace.Trace
+	cache  map[runKey]*system.Results
+	// Progress, when non-nil, receives a line per fresh simulation run.
+	Progress func(string)
+}
+
+// NewRunner returns a Runner with an empty cache.
+func NewRunner(opts Options) *Runner {
+	return &Runner{
+		opts:   opts,
+		traces: make(map[string]*trace.Trace),
+		cache:  make(map[runKey]*system.Results),
+	}
+}
+
+func (r *Runner) traceFor(name string) (*trace.Trace, error) {
+	if t, ok := r.traces[name]; ok {
+		return t, nil
+	}
+	p, err := workload.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	if r.opts.RefsPerThread > 0 {
+		p.RefsPerThread = r.opts.RefsPerThread
+	}
+	t, err := p.Generate()
+	if err != nil {
+		return nil, err
+	}
+	r.traces[name] = t
+	return t, nil
+}
+
+func (r *Runner) configFor(k runKey) config.Config {
+	cfg := config.Default().WithMechanism(k.mech)
+	cfg.MaxOutstanding = k.outstanding
+	if k.wbhtEntries > 0 {
+		cfg.WBHT.Entries = k.wbhtEntries
+	}
+	if k.snarfEntries > 0 {
+		cfg.Snarf.Entries = k.snarfEntries
+	}
+	cfg.WBHT.GlobalAllocate = k.global
+	if k.noSwitch {
+		cfg.WBHT.SwitchEnabled = false
+	}
+	if k.snarfLRU {
+		cfg.Snarf.InsertMRU = false
+	}
+	if k.invalidOnly {
+		cfg.Snarf.VictimizeShared = false
+	}
+	if k.coarse > 1 {
+		cfg.WBHT.LinesPerEntry = k.coarse
+	}
+	cfg.WBHT.HistoryReplacement = k.historyRepl
+	return cfg
+}
+
+// result runs (or recalls) one simulation.
+func (r *Runner) result(k runKey) (*system.Results, error) {
+	if res, ok := r.cache[k]; ok {
+		return res, nil
+	}
+	tr, err := r.traceFor(k.workload)
+	if err != nil {
+		return nil, err
+	}
+	cfg := r.configFor(k)
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("experiments: %v", err)
+	}
+	sys, err := system.New(cfg, tr)
+	if err != nil {
+		return nil, err
+	}
+	if r.Progress != nil {
+		r.Progress(fmt.Sprintf("run %s mech=%s out=%d wbht=%d snarf=%d",
+			k.workload, k.mech, k.outstanding, k.wbhtEntries, k.snarfEntries))
+	}
+	res := sys.Run()
+	r.cache[k] = res
+	return res, nil
+}
+
+// base returns the baseline run for a workload at an outstanding level.
+func (r *Runner) base(workload string, outstanding int) (*system.Results, error) {
+	return r.result(runKey{workload: workload, mech: config.Baseline, outstanding: outstanding})
+}
+
+// Experiment names accepted by Run, in presentation order.
+var Names = []string{
+	"summary",
+	"table1", "table2", "table3", "table4", "table5",
+	"fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+	"ablation",
+}
+
+// Run executes one named experiment (or "all") and writes its artifact
+// to w.
+func (r *Runner) Run(name string, w io.Writer) error {
+	switch name {
+	case "summary":
+		return r.SummaryTable(w)
+	case "table1":
+		return r.Table1(w)
+	case "table2":
+		return r.Table2(w)
+	case "table3":
+		return r.Table3(w)
+	case "table4":
+		return r.Table4(w)
+	case "table5":
+		return r.Table5(w)
+	case "fig2":
+		return r.Figure2(w)
+	case "fig3":
+		return r.Figure3(w)
+	case "fig4":
+		return r.Figure4(w)
+	case "fig5":
+		return r.Figure5(w)
+	case "fig6":
+		return r.Figure6(w)
+	case "fig7":
+		return r.Figure7(w)
+	case "ablation":
+		return r.Ablations(w)
+	case "all":
+		for _, n := range Names {
+			if err := r.Run(n, w); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+		return nil
+	default:
+		return fmt.Errorf("experiments: unknown experiment %q (want %v or all)", name, Names)
+	}
+}

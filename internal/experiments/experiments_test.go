@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cmpcache/internal/config"
+)
+
+// tinyRunner keeps experiment tests fast: short traces, trimmed grids.
+func tinyRunner() *Runner {
+	return NewRunner(Options{RefsPerThread: 1500, Quick: true})
+}
+
+func TestRunnerCachesResults(t *testing.T) {
+	r := tinyRunner()
+	runs := 0
+	r.Progress = func(string) { runs++ }
+	if _, err := r.base("tp", 6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.base("tp", 6); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 1 {
+		t.Fatalf("cache miss: %d runs for identical key", runs)
+	}
+}
+
+func TestRunnerDistinctKeysRunSeparately(t *testing.T) {
+	r := tinyRunner()
+	runs := 0
+	r.Progress = func(string) { runs++ }
+	keys := []runKey{
+		{workload: "tp", mech: config.Baseline, outstanding: 6},
+		{workload: "tp", mech: config.WBHT, outstanding: 6},
+		{workload: "tp", mech: config.WBHT, outstanding: 6, global: true},
+		{workload: "tp", mech: config.WBHT, outstanding: 6, wbhtEntries: 512},
+	}
+	for _, k := range keys {
+		if _, err := r.result(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if runs != len(keys) {
+		t.Fatalf("runs = %d, want %d", runs, len(keys))
+	}
+}
+
+func TestConfigForVariants(t *testing.T) {
+	r := tinyRunner()
+	cfg := r.configFor(runKey{workload: "tp", mech: config.Snarf, outstanding: 3,
+		snarfEntries: 1024, snarfLRU: true, invalidOnly: true})
+	if cfg.Mechanism != config.Snarf || cfg.MaxOutstanding != 3 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	if cfg.Snarf.Entries != 1024 || cfg.Snarf.InsertMRU || cfg.Snarf.VictimizeShared {
+		t.Fatalf("snarf overrides not applied: %+v", cfg.Snarf)
+	}
+	cfg = r.configFor(runKey{workload: "tp", mech: config.WBHT, outstanding: 6,
+		wbhtEntries: 2048, global: true, noSwitch: true})
+	if cfg.WBHT.Entries != 2048 || !cfg.WBHT.GlobalAllocate || cfg.WBHT.SwitchEnabled {
+		t.Fatalf("wbht overrides not applied: %+v", cfg.WBHT)
+	}
+}
+
+func TestTable3PrintsIdentities(t *testing.T) {
+	r := tinyRunner()
+	var buf bytes.Buffer
+	if err := r.Table3(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"20 cycles", "77 cycles", "167 cycles", "431 cycles"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table 3 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	r := tinyRunner()
+	var buf bytes.Buffer
+	if err := r.Table1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{"CPW2", "NotesBench", "TP", "Trade2"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("Table 1 missing %s:\n%s", name, out)
+		}
+	}
+	// The paper reference values must appear.
+	if !strings.Contains(out, "79.10") && !strings.Contains(out, "79.1") {
+		t.Fatalf("Table 1 missing paper reference values:\n%s", out)
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	r := tinyRunner()
+	var buf bytes.Buffer
+	if err := r.Figure2(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "out=1") || !strings.Contains(out, "out=6") {
+		t.Fatalf("Figure 2 missing sweep columns:\n%s", out)
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	r := NewRunner(Options{RefsPerThread: 1500, Quick: true, CSV: true})
+	var buf bytes.Buffer
+	if err := r.Table3(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "|") {
+		t.Fatal("CSV output contains markdown pipes")
+	}
+	if !strings.Contains(buf.String(), "Parameter,Paper,Simulated") {
+		t.Fatalf("CSV header missing:\n%s", buf.String())
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	r := tinyRunner()
+	if err := r.Run("fig99", &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestQuickGrids(t *testing.T) {
+	quick := Options{Quick: true}
+	if len(quick.outstanding()) >= len(OutstandingSweep) {
+		t.Fatal("quick outstanding grid not reduced")
+	}
+	if len(quick.tableSizes()) >= len(TableSizeSweep) {
+		t.Fatal("quick size grid not reduced")
+	}
+	full := Options{}
+	if len(full.outstanding()) != 6 || len(full.tableSizes()) != 8 {
+		t.Fatal("full grids wrong")
+	}
+}
+
+// TestAllExperimentsProduceOutput smoke-tests every artifact end to end
+// at tiny scale. This is the integration test for the whole harness.
+func TestAllExperimentsProduceOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness pass is not short")
+	}
+	r := NewRunner(Options{RefsPerThread: 800, Quick: true})
+	for _, name := range Names {
+		var buf bytes.Buffer
+		if err := r.Run(name, &buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s produced no output", name)
+		}
+	}
+}

@@ -1,0 +1,643 @@
+// Package l2 models one of the chip's four shared L2 caches: four
+// independently ported slices of tag state (Figure 1), the MSHRs that
+// track outstanding misses, the eight-entry write-back queue whose
+// fullness blocks demand misses, and — when enabled — the paper's two
+// adaptive structures (the Write Back History Table and the snarf reuse
+// table) owned by this cache.
+//
+// The L2 caches are the system's points of coherence: every demand miss
+// and write back appears on the ring and is snooped here. This package
+// implements the state machine; transaction sequencing and timing live
+// in internal/system.
+package l2
+
+import (
+	"fmt"
+	"math/bits"
+
+	"cmpcache/internal/cache"
+	"cmpcache/internal/coherence"
+	"cmpcache/internal/config"
+	"cmpcache/internal/core"
+	"cmpcache/internal/sim"
+)
+
+// flagSnarfed marks a line that arrived via a write-back snarf rather
+// than a demand fill; it powers the Table 5 statistics on whether
+// snarfed lines are later used locally or supplied as interventions.
+const flagSnarfed uint8 = 1 << 0
+
+// ProbeKind classifies the outcome of a demand probe.
+type ProbeKind int8
+
+const (
+	// ProbeHit: the access completes locally with no bus transaction.
+	ProbeHit ProbeKind = iota
+	// ProbeHitNeedsUpgrade: the data is present but a store requires an
+	// ownership claim on the bus (line held S, SL or T).
+	ProbeHitNeedsUpgrade
+	// ProbeWBBufferHit: the line was found in the write-back queue; the
+	// pending write back is cancelled and the line reinstalled.
+	ProbeWBBufferHit
+	// ProbeMiss: a bus Read/RWITM is required.
+	ProbeMiss
+)
+
+// Stats aggregates this L2's counters. Field names follow the paper's
+// vocabulary.
+type Stats struct {
+	Accesses     uint64 // demand probes (loads+stores+ifetches)
+	Hits         uint64 // proper tag hits (includes upgrades-needed)
+	MSHRAttach   uint64 // accesses absorbed by a pending miss
+	WBBufferHits uint64
+	Misses       uint64 // probes that started a new bus transaction
+
+	CleanVictims   uint64 // clean lines chosen for replacement
+	DirtyVictims   uint64
+	CleanWBQueued  uint64 // clean write backs actually enqueued
+	CleanWBAborted uint64 // clean write backs aborted by the WBHT
+	SharedDropped  uint64 // snarf installs that displaced a Shared line
+
+	HistoryVictims uint64 // fills that used the WBHT-informed victim choice
+
+	SnarfOffers       uint64 // snooped snarfable WBs from peers
+	SnarfAccepts      uint64 // this cache volunteered
+	SnarfInstalls     uint64 // this cache won and installed the line
+	SnarfDeclinedMSHR uint64 // declined: miss in flight for that line
+	SnarfDeclinedFull uint64 // declined: no invalid/shared victim
+
+	SnarfedUsedLocally  uint64 // snarfed line later hit by local demand
+	SnarfedIntervention uint64 // snarfed line later supplied to a peer
+
+	SnoopsObserved uint64
+	Invalidations  uint64 // lines invalidated by peer RWITM/Upgrade
+	Interventions  uint64 // data supplied to peers (all lines)
+}
+
+// WBEntry is one write-back queue occupant.
+type WBEntry struct {
+	Key       uint64
+	Kind      coherence.TxnKind
+	State     coherence.State // state the line held at eviction
+	Snarfable bool            // reuse-table verdict, carried on the bus
+	InFlight  bool            // bus transaction issued, awaiting combine
+	Cancelled bool            // demand re-fetched the line; drop outcome
+}
+
+// mshr tracks one outstanding miss and the accesses coalesced onto it.
+type mshr struct {
+	key          uint64
+	kind         coherence.TxnKind
+	loadWaiters  []func(config.Cycles)
+	storeWaiters []func(config.Cycles)
+}
+
+// Cache is one L2 cache.
+type Cache struct {
+	id         int
+	cfg        *config.Config
+	slices     []*cache.Cache
+	ports      []sim.Server
+	sliceMask  uint64
+	sliceShift uint
+
+	mshrs map[uint64]*mshr
+
+	wbq []WBEntry // FIFO; index 0 is head
+
+	wbht  *core.WBHT       // nil unless mechanism enables it
+	snarf *core.SnarfTable // nil unless mechanism enables it
+
+	stats Stats
+}
+
+// New builds L2 cache id from cfg, instantiating the adaptive tables the
+// configured mechanism calls for.
+func New(id int, cfg *config.Config) *Cache {
+	linesPerSlice := cfg.L2Lines() / cfg.L2Slices
+	sets := linesPerSlice / cfg.L2Assoc
+	slices := make([]*cache.Cache, cfg.L2Slices)
+	for i := range slices {
+		slices[i] = cache.New(sets, cfg.L2Assoc)
+	}
+	c := &Cache{
+		id:         id,
+		cfg:        cfg,
+		slices:     slices,
+		ports:      make([]sim.Server, cfg.L2Slices),
+		sliceMask:  uint64(cfg.L2Slices - 1),
+		sliceShift: uint(bits.TrailingZeros(uint(cfg.L2Slices))),
+		mshrs:      make(map[uint64]*mshr),
+	}
+	switch cfg.Mechanism {
+	case config.WBHT:
+		c.wbht = core.NewWBHT(cfg.WBHT)
+	case config.Snarf:
+		c.snarf = core.NewSnarfTable(cfg.Snarf)
+	case config.Combined:
+		c.wbht = core.NewWBHT(cfg.WBHT)
+		c.snarf = core.NewSnarfTable(cfg.Snarf)
+	}
+	return c
+}
+
+// ID returns the cache's agent index.
+func (c *Cache) ID() int { return c.id }
+
+// WBHT returns the cache's Write Back History Table, or nil.
+func (c *Cache) WBHT() *core.WBHT { return c.wbht }
+
+// SnarfTable returns the cache's snarf reuse table, or nil.
+func (c *Cache) SnarfTable() *core.SnarfTable { return c.snarf }
+
+// StatsSnapshot returns a copy of the counters.
+func (c *Cache) StatsSnapshot() Stats { return c.stats }
+
+func (c *Cache) slice(key uint64) (*cache.Cache, uint64) {
+	return c.slices[key&c.sliceMask], key >> c.sliceShift
+}
+
+// ReservePort books tag/data port bandwidth on key's slice starting at
+// or after now, returning the access start cycle.
+func (c *Cache) ReservePort(key uint64, now config.Cycles) config.Cycles {
+	return c.ports[key&c.sliceMask].Reserve(now, c.cfg.L2PortOccupancy)
+}
+
+// Probe performs a demand lookup for a load (isStore=false) or store.
+// It updates recency and applies silent state upgrades (E->M on store
+// hit). count controls access statistics: a probe re-attempted after a
+// structural stall (full write-back queue or MSHRs) passes false so the
+// access is not double-counted. The caller handles the returned kind.
+func (c *Cache) Probe(key uint64, isStore, count bool) ProbeKind {
+	if count {
+		c.stats.Accesses++
+	}
+	s, k := c.slice(key)
+	line := s.LookupTouch(k)
+	if line != nil {
+		if count {
+			c.stats.Hits++
+		}
+		c.noteLocalUse(line)
+		if !isStore {
+			return ProbeHit
+		}
+		switch coherence.State(line.State) {
+		case coherence.Modified:
+			return ProbeHit
+		case coherence.Exclusive:
+			line.State = int8(coherence.Modified) // silent upgrade
+			return ProbeHit
+		default: // S, SL, T: must claim ownership on the bus
+			return ProbeHitNeedsUpgrade
+		}
+	}
+	if c.findWB(key) >= 0 {
+		if count {
+			c.stats.WBBufferHits++
+		}
+		return ProbeWBBufferHit
+	}
+	return ProbeMiss
+}
+
+// noteLocalUse scores Table 5's "snarfed lines used locally" once per
+// snarfed line.
+func (c *Cache) noteLocalUse(line *cache.Line) {
+	if line.Flags&flagSnarfed != 0 {
+		c.stats.SnarfedUsedLocally++
+		line.Flags &^= flagSnarfed
+	}
+}
+
+// State returns the coherence state of key (Invalid when absent),
+// without perturbing recency or statistics.
+func (c *Cache) State(key uint64) coherence.State {
+	s, k := c.slice(key)
+	if l, ok := s.Peek(k); ok {
+		return coherence.State(l.State)
+	}
+	return coherence.Invalid
+}
+
+// SetState overwrites the state of a resident line (test hook and
+// upgrade-commit path). It panics if the line is absent, which would
+// indicate a protocol sequencing bug.
+func (c *Cache) SetState(key uint64, st coherence.State) {
+	s, k := c.slice(key)
+	if !s.SetState(k, int8(st)) {
+		panic(fmt.Sprintf("l2 %d: SetState on absent line %#x", c.id, key))
+	}
+}
+
+// --- MSHR management ---
+
+// MSHRFor returns whether key has an outstanding miss.
+func (c *Cache) MSHRFor(key uint64) bool {
+	_, ok := c.mshrs[key]
+	return ok
+}
+
+// MSHRCount returns the number of live MSHRs.
+func (c *Cache) MSHRCount() int { return len(c.mshrs) }
+
+// MSHRFull reports whether a new miss can be tracked.
+func (c *Cache) MSHRFull() bool { return len(c.mshrs) >= c.cfg.MSHRsPerL2 }
+
+// AllocMSHR registers a new outstanding miss. It panics on duplicate
+// allocation (the caller must Attach instead).
+func (c *Cache) AllocMSHR(key uint64, kind coherence.TxnKind) {
+	if _, ok := c.mshrs[key]; ok {
+		panic(fmt.Sprintf("l2 %d: duplicate MSHR for %#x", c.id, key))
+	}
+	c.mshrs[key] = &mshr{key: key, kind: kind}
+}
+
+// AttachMSHR registers a completion callback on an outstanding miss,
+// reporting false when none exists. Store waiters are completed only
+// after ownership is obtained (see TakeWaiters). Coalescing statistics
+// are the caller's concern (CountMSHRAttach): the primary requester
+// attaches through the same path.
+func (c *Cache) AttachMSHR(key uint64, isStore bool, done func(config.Cycles)) bool {
+	m, ok := c.mshrs[key]
+	if !ok {
+		return false
+	}
+	if isStore {
+		m.storeWaiters = append(m.storeWaiters, done)
+	} else {
+		m.loadWaiters = append(m.loadWaiters, done)
+	}
+	return true
+}
+
+// MSHRKind returns the bus transaction kind of key's outstanding miss.
+// It panics when no MSHR exists.
+func (c *Cache) MSHRKind(key uint64) coherence.TxnKind {
+	m, ok := c.mshrs[key]
+	if !ok {
+		panic(fmt.Sprintf("l2 %d: MSHRKind on absent MSHR %#x", c.id, key))
+	}
+	return m.kind
+}
+
+// TakeWaiters removes key's MSHR and returns its coalesced load and
+// store completion callbacks. It panics when no MSHR exists.
+func (c *Cache) TakeWaiters(key uint64) (loads, stores []func(config.Cycles)) {
+	m, ok := c.mshrs[key]
+	if !ok {
+		panic(fmt.Sprintf("l2 %d: TakeWaiters on absent MSHR %#x", c.id, key))
+	}
+	delete(c.mshrs, key)
+	return m.loadWaiters, m.storeWaiters
+}
+
+// CountMiss records that a probe became a new bus transaction.
+func (c *Cache) CountMiss() { c.stats.Misses++ }
+
+// CountMSHRAttach records that an access coalesced onto an existing
+// outstanding miss instead of issuing its own transaction.
+func (c *Cache) CountMSHRAttach() { c.stats.MSHRAttach++ }
+
+// --- Write-back queue ---
+
+// WBQueueFull reports whether the write-back queue has no free slot; a
+// full queue blocks demand misses ("misses to the L2 cache will be
+// blocked and will have to wait for an open slot").
+func (c *Cache) WBQueueFull() bool { return len(c.wbq) >= c.cfg.WBQueueEntries }
+
+// WBQueueLen returns current occupancy.
+func (c *Cache) WBQueueLen() int { return len(c.wbq) }
+
+func (c *Cache) findWB(key uint64) int {
+	for i := range c.wbq {
+		if c.wbq[i].Key == key && !c.wbq[i].Cancelled {
+			return i
+		}
+	}
+	return -1
+}
+
+// CancelWB removes (or, if already on the bus, poisons) the queued write
+// back for key and returns its entry for reinstallation. ok is false
+// when no live entry exists.
+func (c *Cache) CancelWB(key uint64) (WBEntry, bool) {
+	i := c.findWB(key)
+	if i < 0 {
+		return WBEntry{}, false
+	}
+	e := c.wbq[i]
+	if c.wbq[i].InFlight {
+		c.wbq[i].Cancelled = true
+	} else {
+		c.wbq = append(c.wbq[:i], c.wbq[i+1:]...)
+	}
+	return e, true
+}
+
+// HeadWB returns the next entry to issue (skipping cancelled ones) and
+// marks it in flight. ok is false when the queue has no issuable entry.
+func (c *Cache) HeadWB() (*WBEntry, bool) {
+	for i := range c.wbq {
+		if !c.wbq[i].Cancelled && !c.wbq[i].InFlight {
+			c.wbq[i].InFlight = true
+			return &c.wbq[i], true
+		}
+	}
+	return nil, false
+}
+
+// RetryWB returns the in-flight entry for key to issuable state so it
+// re-arbitrates after backoff.
+func (c *Cache) RetryWB(key uint64) {
+	for i := range c.wbq {
+		if c.wbq[i].Key == key && c.wbq[i].InFlight {
+			c.wbq[i].InFlight = false
+			return
+		}
+	}
+}
+
+// RequeueWB reinstates a retried entry at the head of the queue so it
+// re-arbitrates before younger write backs, preserving FIFO order. The
+// entry is stored issuable (not in flight, not cancelled). RequeueWB is
+// exempt from the capacity gate: the entry's slot was logically never
+// given up.
+func (c *Cache) RequeueWB(e WBEntry) {
+	e.InFlight = false
+	e.Cancelled = false
+	c.wbq = append([]WBEntry{e}, c.wbq...)
+}
+
+// CompleteWB removes the in-flight (possibly cancelled) entry for key,
+// returning it along with whether it had been cancelled while on the
+// bus.
+func (c *Cache) CompleteWB(key uint64) (entry WBEntry, wasCancelled bool) {
+	for i := range c.wbq {
+		if c.wbq[i].Key == key && c.wbq[i].InFlight {
+			entry = c.wbq[i]
+			c.wbq = append(c.wbq[:i], c.wbq[i+1:]...)
+			return entry, entry.Cancelled
+		}
+	}
+	panic(fmt.Sprintf("l2 %d: CompleteWB on absent in-flight entry %#x", c.id, key))
+}
+
+// Reinstall puts a write-back-buffer line back into the tag array (a
+// demand access caught it before it left the chip). The caller supplies
+// the entry returned by CancelWB. Reinstallation may itself evict a
+// victim — returned with its chip-wide key — which the caller must
+// process.
+func (c *Cache) Reinstall(e WBEntry) (victimKey uint64, victimState coherence.State, evicted bool) {
+	s, k := c.slice(e.Key)
+	v, did := s.Insert(k, int8(e.State), 0, true)
+	if !did {
+		return 0, coherence.Invalid, false
+	}
+	return c.keyFromSlice(v.Key, e.Key), coherence.State(v.State), true
+}
+
+// --- Victim handling (the paper's Section 2 policy) ---
+
+// VictimAction says what became of an evicted line.
+type VictimAction int8
+
+const (
+	// VictimNone: the victim was invalid; nothing to do.
+	VictimNone VictimAction = iota
+	// VictimQueued: a write back was enqueued.
+	VictimQueued
+	// VictimAborted: the WBHT predicted the line already resides in the
+	// L3, so the clean write back was suppressed.
+	VictimAborted
+)
+
+// ProcessVictim applies the write-back policy to an evicted line,
+// identified by its chip-wide key (as returned by InstallFill) and the
+// state it held. wbhtActive is the retry-rate switch state
+// (Section 2.2); inL3 is the simulator's oracle peek used solely to
+// score prediction accuracy (Table 4's "WBHT Correct" row).
+func (c *Cache) ProcessVictim(key uint64, st coherence.State, wbhtActive, inL3 bool) VictimAction {
+	if !st.Valid() {
+		return VictimNone
+	}
+	kind := coherence.CleanWB
+	if st.Dirty() {
+		kind = coherence.DirtyWB
+		c.stats.DirtyVictims++
+	} else {
+		c.stats.CleanVictims++
+		if c.wbht != nil && wbhtActive {
+			abort := c.wbht.ShouldAbort(key)
+			c.wbht.RecordDecision(abort, inL3)
+			if abort {
+				c.stats.CleanWBAborted++
+				return VictimAborted
+			}
+		}
+		c.stats.CleanWBQueued++
+	}
+	entry := WBEntry{Key: key, Kind: kind, State: st}
+	if c.snarf != nil {
+		entry.Snarfable = c.snarf.Snarfable(key)
+	}
+	c.wbq = append(c.wbq, entry)
+	return VictimQueued
+}
+
+// --- Fills and snarf installs ---
+
+// historyReplacementWindow bounds how deep into the LRU stack the
+// history-informed victim search looks (Section 7 extension).
+const historyReplacementWindow = 4
+
+// InstallFill inserts a demand fill with the given state, returning the
+// victim it displaced (chip-wide key reconstructed) and its state, if
+// any. With HistoryReplacement enabled, the victim search prefers —
+// within the LRU-most window — clean lines whose tags hit in this
+// cache's WBHT: they are already in the L3, so their eviction is free
+// (the write back will be aborted) and cheap to undo (L3 hit, not a
+// memory access).
+func (c *Cache) InstallFill(key uint64, st coherence.State) (victimKey uint64, victimState coherence.State, evicted bool) {
+	s, k := c.slice(key)
+	var v cache.Line
+	var did bool
+	if c.cfg.WBHT.HistoryReplacement && c.wbht != nil {
+		v, did = s.InsertPrefer(k, int8(st), 0, true, historyReplacementWindow, func(l cache.Line) bool {
+			lst := coherence.State(l.State)
+			return lst.Valid() && !lst.Dirty() && c.wbht.Contains(c.keyFromSlice(l.Key, key))
+		})
+		if did {
+			c.stats.HistoryVictims++
+		}
+	} else {
+		v, did = s.Insert(k, int8(st), 0, true)
+	}
+	if !did {
+		return 0, coherence.Invalid, false
+	}
+	return c.keyFromSlice(v.Key, key), coherence.State(v.State), true
+}
+
+// keyFromSlice rebuilds a chip-wide key for a victim that came from the
+// same slice as ref.
+func (c *Cache) keyFromSlice(local uint64, ref uint64) uint64 {
+	return local<<c.sliceShift | (ref & c.sliceMask)
+}
+
+// --- Snooping ---
+
+// SnoopDemand reacts to a peer's demand transaction: state transitions
+// per the POWER4-style protocol and the snoop response for the
+// collector. Own transactions must not be snooped by their issuer.
+func (c *Cache) SnoopDemand(key uint64, kind coherence.TxnKind) coherence.Response {
+	c.stats.SnoopsObserved++
+	s, k := c.slice(key)
+	line := s.Lookup(k)
+	if line == nil {
+		return coherence.RespNull
+	}
+	st := coherence.State(line.State)
+	switch kind {
+	case coherence.Read:
+		switch st {
+		case coherence.Modified:
+			line.State = int8(coherence.Tagged)
+			c.noteIntervention(line)
+			return coherence.RespModifiedIntervention
+		case coherence.Tagged:
+			c.noteIntervention(line)
+			return coherence.RespModifiedIntervention
+		case coherence.Exclusive, coherence.SharedLast:
+			line.State = int8(coherence.Shared) // requester becomes SL
+			c.noteIntervention(line)
+			return coherence.RespSharedIntervention
+		case coherence.Shared:
+			return coherence.RespShared
+		}
+	case coherence.RWITM:
+		resp := coherence.RespShared
+		switch st {
+		case coherence.Modified, coherence.Tagged:
+			c.noteIntervention(line)
+			resp = coherence.RespModifiedIntervention
+		case coherence.Exclusive, coherence.SharedLast:
+			c.noteIntervention(line)
+			resp = coherence.RespSharedIntervention
+		}
+		s.Invalidate(k)
+		c.stats.Invalidations++
+		return resp
+	case coherence.Upgrade:
+		// The claimer already holds the data; we just relinquish ours.
+		s.Invalidate(k)
+		c.stats.Invalidations++
+		return coherence.RespShared
+	}
+	return coherence.RespNull
+}
+
+// noteIntervention updates intervention statistics, scoring snarfed
+// lines once (Table 5's "snarfed lines provided for interventions").
+func (c *Cache) noteIntervention(line *cache.Line) {
+	c.stats.Interventions++
+	if line.Flags&flagSnarfed != 0 {
+		c.stats.SnarfedIntervention++
+		line.Flags &^= flagSnarfed
+	}
+}
+
+// SnoopWB reacts to a peer's write back when snarfing is enabled. The
+// squash check runs for every write back — in a snoopy protocol the tag
+// lookup is part of mandatory snooping, and "lines being written back
+// are frequently found in peer L2 caches"; squashing them is what
+// collapses the L3 retry rate in Table 5. The expensive part — the
+// victim-way search and fill-buffer reservation of the snarf algorithm —
+// runs only for write backs the reuse table marked snarfable
+// (Section 3: unrestricted snarfing "will likely offset any performance
+// gains" through added pressure). A snarf volunteer also requires no
+// miss in flight for the line ("we conservatively decline the cache
+// line in that situation").
+func (c *Cache) SnoopWB(key uint64, kind coherence.TxnKind, snarfable bool) coherence.Response {
+	c.stats.SnoopsObserved++
+	if c.snarf == nil {
+		return coherence.RespNull
+	}
+	s, k := c.slice(key)
+	if s.Contains(k) {
+		return coherence.RespWBSquash
+	}
+	if !snarfable {
+		return coherence.RespNull
+	}
+	c.stats.SnarfOffers++
+	if c.MSHRFor(key) {
+		c.stats.SnarfDeclinedMSHR++
+		return coherence.RespNull
+	}
+	okStates := []int8{}
+	if c.cfg.Snarf.VictimizeShared {
+		okStates = append(okStates, int8(coherence.Shared))
+	}
+	way, _ := s.ReplaceableWay(k, okStates...)
+	if way < 0 {
+		c.stats.SnarfDeclinedFull++
+		return coherence.RespNull
+	}
+	c.stats.SnarfAccepts++
+	return coherence.RespSnarfAccept
+}
+
+// AcceptSnarf installs a snarfed write back after winning arbitration.
+// The install repeats the victim search (still within the same combine
+// event, so the set cannot have changed) and places the line per the
+// configured insertion policy, marked snarfed, with its original
+// coherence state. It reports whether the install happened.
+func (c *Cache) AcceptSnarf(e WBEntry) bool {
+	s, k := c.slice(e.Key)
+	okStates := []int8{}
+	if c.cfg.Snarf.VictimizeShared {
+		okStates = append(okStates, int8(coherence.Shared))
+	}
+	way, old := s.ReplaceableWay(k, okStates...)
+	if way < 0 {
+		return false
+	}
+	if old.Valid {
+		c.stats.SharedDropped++
+	}
+	s.ReplaceWay(k, way, int8(e.State), flagSnarfed, c.cfg.Snarf.InsertMRU)
+	c.stats.SnarfInstalls++
+	return true
+}
+
+// TakeWBObligation transfers dirty-data responsibility to this cache: a
+// peer's dirty write back was squashed because we hold a valid (clean,
+// shared) copy, so our copy becomes Tagged and will be written back on
+// eviction. It panics if we do not actually hold the line.
+func (c *Cache) TakeWBObligation(key uint64) {
+	s, k := c.slice(key)
+	l := s.Lookup(k)
+	if l == nil {
+		panic(fmt.Sprintf("l2 %d: TakeWBObligation without a copy of %#x", c.id, key))
+	}
+	l.State = int8(coherence.Tagged)
+}
+
+// Occupancy returns the number of valid lines.
+func (c *Cache) Occupancy() int {
+	n := 0
+	for _, s := range c.slices {
+		n += s.CountValid()
+	}
+	return n
+}
+
+// HitRate returns hits (including MSHR attaches and WB-buffer hits)
+// over accesses.
+func (c *Cache) HitRate() float64 {
+	if c.stats.Accesses == 0 {
+		return 0
+	}
+	return float64(c.stats.Hits+c.stats.WBBufferHits) / float64(c.stats.Accesses)
+}

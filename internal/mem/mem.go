@@ -1,0 +1,55 @@
+// Package mem models the on-chip memory controller: a bank-parallel
+// DRAM back end that services demand fills missing the whole cache
+// hierarchy and absorbs dirty castouts evicted from the L3 victim
+// cache. Memory is the hierarchy's backstop — it never misses and never
+// retries; pressure appears as bank queueing delay.
+package mem
+
+import (
+	"cmpcache/internal/config"
+	"cmpcache/internal/sim"
+)
+
+// Controller is the memory controller timing model.
+type Controller struct {
+	banks *sim.MultiServer
+	occ   config.Cycles
+
+	reads  uint64
+	writes uint64
+}
+
+// New builds a controller with cfg.MemBanks parallel banks.
+func New(cfg *config.Config) *Controller {
+	return &Controller{
+		banks: sim.NewMultiServer(cfg.MemBanks),
+		occ:   cfg.MemBankOccupancy,
+	}
+}
+
+// ReserveRead books a demand read beginning at or after now and returns
+// the cycle the DRAM access starts. The caller adds the configured
+// access latency on top.
+func (c *Controller) ReserveRead(now config.Cycles) config.Cycles {
+	c.reads++
+	return c.banks.Reserve(now, c.occ)
+}
+
+// ReserveWrite books a castout write (fire-and-forget for the
+// requester; it still consumes bank bandwidth and delays later reads).
+func (c *Controller) ReserveWrite(now config.Cycles) config.Cycles {
+	c.writes++
+	return c.banks.Reserve(now, c.occ)
+}
+
+// Reads returns the number of demand reads serviced.
+func (c *Controller) Reads() uint64 { return c.reads }
+
+// Writes returns the number of castout writes absorbed.
+func (c *Controller) Writes() uint64 { return c.writes }
+
+// BusyCycles returns total DRAM bank busy time.
+func (c *Controller) BusyCycles() config.Cycles { return c.banks.BusyCycles() }
+
+// WaitedCycles returns cumulative bank queueing delay.
+func (c *Controller) WaitedCycles() config.Cycles { return c.banks.WaitedCycles() }

@@ -1,0 +1,58 @@
+package mem
+
+import (
+	"testing"
+
+	"cmpcache/internal/config"
+)
+
+func newCtl() *Controller {
+	cfg := config.Default()
+	return New(&cfg)
+}
+
+func TestBankParallelism(t *testing.T) {
+	c := newCtl()
+	cfg := config.Default()
+	for i := 0; i < cfg.MemBanks; i++ {
+		if start := c.ReserveRead(0); start != 0 {
+			t.Fatalf("read %d start = %d, want 0 (idle banks available)", i, start)
+		}
+	}
+	if start := c.ReserveRead(0); start != cfg.MemBankOccupancy {
+		t.Fatalf("overflow read start = %d, want %d", start, cfg.MemBankOccupancy)
+	}
+}
+
+func TestReadWriteCounting(t *testing.T) {
+	c := newCtl()
+	c.ReserveRead(0)
+	c.ReserveWrite(0)
+	c.ReserveWrite(0)
+	if c.Reads() != 1 || c.Writes() != 2 {
+		t.Fatalf("reads/writes = %d/%d, want 1/2", c.Reads(), c.Writes())
+	}
+}
+
+func TestWritesDelayReads(t *testing.T) {
+	cfg := config.Default()
+	cfg.MemBanks = 1
+	c := New(&cfg)
+	c.ReserveWrite(0)
+	if start := c.ReserveRead(0); start != cfg.MemBankOccupancy {
+		t.Fatalf("read behind write started at %d, want %d", start, cfg.MemBankOccupancy)
+	}
+	if c.WaitedCycles() != cfg.MemBankOccupancy {
+		t.Fatalf("WaitedCycles = %d, want %d", c.WaitedCycles(), cfg.MemBankOccupancy)
+	}
+}
+
+func TestBusyCycles(t *testing.T) {
+	c := newCtl()
+	cfg := config.Default()
+	c.ReserveRead(0)
+	c.ReserveRead(0)
+	if c.BusyCycles() != 2*cfg.MemBankOccupancy {
+		t.Fatalf("BusyCycles = %d, want %d", c.BusyCycles(), 2*cfg.MemBankOccupancy)
+	}
+}

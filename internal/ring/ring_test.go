@@ -1,0 +1,87 @@
+package ring
+
+import (
+	"testing"
+
+	"cmpcache/internal/config"
+)
+
+func newRing() *Ring {
+	cfg := config.Default()
+	return New(&cfg)
+}
+
+func TestAddressSerialization(t *testing.T) {
+	r := newRing()
+	a := r.ReserveAddress(100)
+	b := r.ReserveAddress(100)
+	c := r.ReserveAddress(100)
+	if a != 100 || b != 102 || c != 104 {
+		t.Fatalf("starts = %d/%d/%d, want 100/102/104 (one txn per 2 cycles)", a, b, c)
+	}
+	if r.AddressTransactions() != 3 {
+		t.Fatalf("AddressTransactions = %d, want 3", r.AddressTransactions())
+	}
+}
+
+func TestDataRingUsesBothDirections(t *testing.T) {
+	r := newRing()
+	a := r.ReserveData(0)
+	b := r.ReserveData(0)
+	if a != 0 || b != 0 {
+		t.Fatalf("two transfers should start concurrently on opposite rings: %d, %d", a, b)
+	}
+	c := r.ReserveData(0)
+	if c != 8 {
+		t.Fatalf("third transfer = %d, want 8 (both rings busy)", c)
+	}
+	if r.DataTransfers() != 3 {
+		t.Fatalf("DataTransfers = %d, want 3", r.DataTransfers())
+	}
+}
+
+func TestDataOccupancyMatchesTable3(t *testing.T) {
+	// 128B line / 32B ring width * 2 core cycles per beat = 8 cycles.
+	r := newRing()
+	if r.DataOccupancy() != 8 {
+		t.Fatalf("DataOccupancy = %d, want 8", r.DataOccupancy())
+	}
+}
+
+func TestWaitAccounting(t *testing.T) {
+	r := newRing()
+	r.ReserveAddress(0)
+	r.ReserveAddress(0) // waits 2
+	if r.AddressWaited() != 2 {
+		t.Fatalf("AddressWaited = %d, want 2", r.AddressWaited())
+	}
+	r.ReserveData(0)
+	r.ReserveData(0)
+	r.ReserveData(0) // waits 8
+	if r.DataWaited() != 8 {
+		t.Fatalf("DataWaited = %d, want 8", r.DataWaited())
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	r := newRing()
+	r.ReserveAddress(0) // 2 busy cycles
+	if got := r.AddressUtilization(100); got != 0.02 {
+		t.Fatalf("AddressUtilization = %v, want 0.02", got)
+	}
+	r.ReserveData(0) // 8 busy cycles on one of two rings
+	if got := r.DataUtilization(100); got != 0.04 {
+		t.Fatalf("DataUtilization = %v, want 0.04", got)
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	cfg := config.Default()
+	cfg.DataRingOccupancy = 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero occupancy accepted")
+		}
+	}()
+	New(&cfg)
+}

@@ -1,0 +1,133 @@
+// Package sim provides a minimal discrete-event simulation engine and a
+// small set of queued-resource models (single servers, multi-servers and
+// finite token queues) used by every timed component in the simulator.
+//
+// Time is measured in integer core cycles. Events scheduled for the same
+// cycle fire in FIFO order of scheduling, which keeps simulations
+// deterministic for a fixed input.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in simulated time, in core clock cycles.
+type Time int64
+
+// Forever is a time later than any reachable simulation time.
+const Forever Time = math.MaxInt64
+
+// Event is a callback scheduled to run at a particular cycle.
+type Event func()
+
+type scheduledEvent struct {
+	at  Time
+	seq uint64 // tie-breaker: FIFO among same-cycle events
+	fn  Event
+}
+
+type eventHeap []scheduledEvent
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(scheduledEvent)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is ready to use.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	stopped bool
+	fired   uint64
+}
+
+// NewEngine returns an empty engine positioned at cycle zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Schedule runs fn after delay cycles. A negative delay panics: the past
+// is immutable.
+func (e *Engine) Schedule(delay Time, fn Event) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: scheduling %d cycles in the past", -delay))
+	}
+	e.At(e.now+delay, fn)
+}
+
+// At runs fn at the absolute cycle t, which must not precede Now.
+func (e *Engine) At(t Time, fn Event) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: At(%d) before now (%d)", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event")
+	}
+	heap.Push(&e.events, scheduledEvent{at: t, seq: e.seq, fn: fn})
+	e.seq++
+}
+
+// Pending reports the number of events waiting to fire.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step executes the single earliest pending event and reports whether one
+// was available.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(scheduledEvent)
+	e.now = ev.at
+	e.fired++
+	ev.fn()
+	return true
+}
+
+// Run executes events until none remain or Stop is called. It returns the
+// final simulation time.
+func (e *Engine) Run() Time {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps not exceeding deadline. Events
+// scheduled beyond the deadline remain pending. It returns the final
+// simulation time, which never exceeds deadline.
+func (e *Engine) RunUntil(deadline Time) Time {
+	e.stopped = false
+	for !e.stopped && len(e.events) > 0 && e.events[0].at <= deadline {
+		e.Step()
+	}
+	if e.now > deadline {
+		panic("sim: time ran past deadline") // unreachable: guarded above
+	}
+	return e.now
+}

@@ -1,0 +1,107 @@
+package sim
+
+import "math"
+
+// Rand is a small, fast, deterministic pseudo-random source
+// (xorshift64*), used by workload generators and randomized policies.
+// math/rand would also do, but a self-contained generator guarantees the
+// stream never changes across Go releases, keeping experiment outputs
+// reproducible bit-for-bit.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded with seed (zero is remapped, since
+// xorshift has a zero fixed point).
+func NewRand(seed uint64) *Rand {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &Rand{state: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics when n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Rand.Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Geometric returns a sample from a geometric distribution over
+// {0, 1, 2, ...} with the given mean. A non-positive mean returns zero.
+func (r *Rand) Geometric(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	p := 1 / (mean + 1)
+	u := 1 - r.Float64() // in (0, 1]
+	n := math.Log(u) / math.Log(1-p)
+	if n < 0 {
+		return 0
+	}
+	if n > 1<<30 {
+		return 1 << 30
+	}
+	return int(n)
+}
+
+// Zipf samples ranks in [0, n) with probability proportional to
+// 1/(rank+1)^theta using a precomputed cumulative table. Build one with
+// NewZipf; sampling is O(log n).
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf precomputes a Zipf CDF over n items with exponent theta
+// (theta=0 is uniform). n must be positive.
+func NewZipf(n int, theta float64) *Zipf {
+	if n <= 0 {
+		panic("sim: NewZipf with non-positive n")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), theta)
+		cdf[i] = sum
+	}
+	inv := 1 / sum
+	for i := range cdf {
+		cdf[i] *= inv
+	}
+	cdf[n-1] = 1 // guard against rounding
+	return &Zipf{cdf: cdf}
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Sample draws a rank in [0, N) using r.
+func (z *Zipf) Sample(r *Rand) int {
+	u := r.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

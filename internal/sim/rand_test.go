@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestRandZeroSeedRemapped(t *testing.T) {
+	r := NewRand(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed stuck at zero")
+	}
+}
+
+func TestRandIntnRange(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(13)
+		if v < 0 || v >= 13 {
+			t.Fatalf("Intn(13) = %d out of range", v)
+		}
+	}
+}
+
+func TestRandIntnPanicsOnNonPositive(t *testing.T) {
+	r := NewRand(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(9)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := NewRand(11)
+	const mean = 20.0
+	const n = 200000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += r.Geometric(mean)
+	}
+	got := float64(sum) / n
+	if got < mean*0.9 || got > mean*1.1 {
+		t.Fatalf("sample mean %.2f not within 10%% of %v", got, mean)
+	}
+}
+
+func TestGeometricZeroMean(t *testing.T) {
+	r := NewRand(3)
+	for i := 0; i < 100; i++ {
+		if r.Geometric(0) != 0 {
+			t.Fatal("Geometric(0) != 0")
+		}
+	}
+}
+
+func TestGeometricNonNegativeProperty(t *testing.T) {
+	f := func(seed uint64, meanRaw uint16) bool {
+		r := NewRand(seed)
+		mean := float64(meanRaw) / 16
+		for i := 0; i < 50; i++ {
+			if r.Geometric(mean) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfUniformWhenThetaZero(t *testing.T) {
+	z := NewZipf(4, 0)
+	r := NewRand(5)
+	counts := make([]int, 4)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Sample(r)]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / n
+		if frac < 0.22 || frac > 0.28 {
+			t.Fatalf("rank %d frequency %.3f, want ~0.25", i, frac)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipf(100, 1.0)
+	r := NewRand(6)
+	counts := make([]int, 100)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[z.Sample(r)]++
+	}
+	if counts[0] < counts[50]*5 {
+		t.Fatalf("rank 0 (%d) not much hotter than rank 50 (%d)", counts[0], counts[50])
+	}
+}
+
+func TestZipfSampleInRangeProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		z := NewZipf(n, 0.8)
+		if z.N() != n {
+			return false
+		}
+		r := NewRand(seed)
+		for i := 0; i < 100; i++ {
+			v := z.Sample(r)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfInvalidN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewZipf(0, ...) did not panic")
+		}
+	}()
+	NewZipf(0, 1)
+}

@@ -1,0 +1,174 @@
+package sim
+
+// This file contains analytic queued-resource models. Rather than
+// enqueueing explicit arbitration events, a caller reserves a busy window
+// on a resource and receives the cycle at which service begins; the
+// caller then schedules its own downstream events at start+occupancy.
+// Reservations are FIFO in call order, which matches the engine's
+// deterministic same-cycle ordering.
+
+// Server models a single FIFO-served resource (a bus slot allocator, a
+// cache port, a DRAM channel). The zero value is an idle server.
+type Server struct {
+	nextFree Time
+
+	// Stats, exported through accessors.
+	reservations uint64
+	busy         Time
+	waited       Time
+}
+
+// Reserve books occupancy cycles of service beginning no earlier than
+// now, returning the cycle service starts. occupancy must be positive.
+func (s *Server) Reserve(now, occupancy Time) Time {
+	if occupancy <= 0 {
+		panic("sim: Server.Reserve with non-positive occupancy")
+	}
+	start := now
+	if s.nextFree > start {
+		start = s.nextFree
+	}
+	s.waited += start - now
+	s.nextFree = start + occupancy
+	s.busy += occupancy
+	s.reservations++
+	return start
+}
+
+// NextFree returns the cycle at which the server next becomes idle.
+func (s *Server) NextFree() Time { return s.nextFree }
+
+// Reservations returns the number of Reserve calls.
+func (s *Server) Reservations() uint64 { return s.reservations }
+
+// BusyCycles returns the total cycles of booked service.
+func (s *Server) BusyCycles() Time { return s.busy }
+
+// WaitedCycles returns the cumulative queueing delay over all
+// reservations.
+func (s *Server) WaitedCycles() Time { return s.waited }
+
+// Utilization returns busy cycles divided by elapsed cycles (0 when no
+// time has elapsed).
+func (s *Server) Utilization(elapsed Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(s.busy) / float64(elapsed)
+}
+
+// MultiServer models k identical FIFO-served units fed by one queue
+// (e.g. the interleaved slices of the L3 data array, DRAM banks).
+type MultiServer struct {
+	free []Time // next-free time per unit
+
+	reservations uint64
+	busy         Time
+	waited       Time
+}
+
+// NewMultiServer returns a MultiServer with k units; k must be positive.
+func NewMultiServer(k int) *MultiServer {
+	if k <= 0 {
+		panic("sim: NewMultiServer with non-positive k")
+	}
+	return &MultiServer{free: make([]Time, k)}
+}
+
+// Reserve books occupancy cycles on the earliest-available unit and
+// returns the cycle service starts.
+func (m *MultiServer) Reserve(now, occupancy Time) Time {
+	if occupancy <= 0 {
+		panic("sim: MultiServer.Reserve with non-positive occupancy")
+	}
+	best := 0
+	for i := 1; i < len(m.free); i++ {
+		if m.free[i] < m.free[best] {
+			best = i
+		}
+	}
+	start := now
+	if m.free[best] > start {
+		start = m.free[best]
+	}
+	m.waited += start - now
+	m.free[best] = start + occupancy
+	m.busy += occupancy
+	m.reservations++
+	return start
+}
+
+// Units returns the number of service units.
+func (m *MultiServer) Units() int { return len(m.free) }
+
+// Reservations returns the number of Reserve calls.
+func (m *MultiServer) Reservations() uint64 { return m.reservations }
+
+// BusyCycles returns the total cycles of booked service across units.
+func (m *MultiServer) BusyCycles() Time { return m.busy }
+
+// WaitedCycles returns the cumulative queueing delay.
+func (m *MultiServer) WaitedCycles() Time { return m.waited }
+
+// TokenQueue models a finite-capacity buffer: TryAcquire fails (the
+// caller sees a retry) when all entries are in use. It is the mechanism
+// behind L3-issued retries and the L2 write-back queue back-pressure.
+type TokenQueue struct {
+	capacity int
+	inUse    int
+
+	acquired uint64
+	rejected uint64
+	peak     int
+}
+
+// NewTokenQueue returns a TokenQueue with the given capacity; capacity
+// must be positive.
+func NewTokenQueue(capacity int) *TokenQueue {
+	if capacity <= 0 {
+		panic("sim: NewTokenQueue with non-positive capacity")
+	}
+	return &TokenQueue{capacity: capacity}
+}
+
+// TryAcquire takes one entry, reporting false (and counting a rejection)
+// when the queue is full.
+func (q *TokenQueue) TryAcquire() bool {
+	if q.inUse >= q.capacity {
+		q.rejected++
+		return false
+	}
+	q.inUse++
+	q.acquired++
+	if q.inUse > q.peak {
+		q.peak = q.inUse
+	}
+	return true
+}
+
+// Release returns one entry; releasing an empty queue panics, as it
+// indicates a protocol accounting bug.
+func (q *TokenQueue) Release() {
+	if q.inUse == 0 {
+		panic("sim: TokenQueue.Release on empty queue")
+	}
+	q.inUse--
+}
+
+// InUse returns the number of occupied entries.
+func (q *TokenQueue) InUse() int { return q.inUse }
+
+// Capacity returns the total number of entries.
+func (q *TokenQueue) Capacity() int { return q.capacity }
+
+// Full reports whether no entries remain.
+func (q *TokenQueue) Full() bool { return q.inUse >= q.capacity }
+
+// Acquired returns the number of successful TryAcquire calls.
+func (q *TokenQueue) Acquired() uint64 { return q.acquired }
+
+// Rejected returns the number of failed TryAcquire calls.
+func (q *TokenQueue) Rejected() uint64 { return q.rejected }
+
+// Peak returns the high-water mark of occupancy.
+func (q *TokenQueue) Peak() int { return q.peak }

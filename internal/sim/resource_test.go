@@ -1,0 +1,223 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestServerIdleStartsImmediately(t *testing.T) {
+	var s Server
+	if got := s.Reserve(100, 8); got != 100 {
+		t.Fatalf("Reserve on idle server = %d, want 100", got)
+	}
+	if s.NextFree() != 108 {
+		t.Fatalf("NextFree = %d, want 108", s.NextFree())
+	}
+}
+
+func TestServerQueuesFIFO(t *testing.T) {
+	var s Server
+	a := s.Reserve(10, 5) // 10..15
+	b := s.Reserve(10, 5) // 15..20
+	c := s.Reserve(12, 5) // 20..25
+	if a != 10 || b != 15 || c != 20 {
+		t.Fatalf("starts = %d,%d,%d, want 10,15,20", a, b, c)
+	}
+	if s.WaitedCycles() != (15-10)+(20-12) {
+		t.Fatalf("WaitedCycles = %d, want 13", s.WaitedCycles())
+	}
+	if s.BusyCycles() != 15 {
+		t.Fatalf("BusyCycles = %d, want 15", s.BusyCycles())
+	}
+	if s.Reservations() != 3 {
+		t.Fatalf("Reservations = %d, want 3", s.Reservations())
+	}
+}
+
+func TestServerIdleGap(t *testing.T) {
+	var s Server
+	s.Reserve(0, 4)
+	if got := s.Reserve(100, 4); got != 100 {
+		t.Fatalf("Reserve after idle gap = %d, want 100", got)
+	}
+}
+
+func TestServerUtilization(t *testing.T) {
+	var s Server
+	s.Reserve(0, 25)
+	s.Reserve(50, 25)
+	if got := s.Utilization(100); got != 0.5 {
+		t.Fatalf("Utilization = %v, want 0.5", got)
+	}
+	if got := s.Utilization(0); got != 0 {
+		t.Fatalf("Utilization(0) = %v, want 0", got)
+	}
+}
+
+func TestServerNonPositiveOccupancyPanics(t *testing.T) {
+	var s Server
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reserve(_, 0) did not panic")
+		}
+	}()
+	s.Reserve(0, 0)
+}
+
+// Property: service periods booked on a Server never overlap and starts
+// never precede request times.
+func TestServerNoOverlapProperty(t *testing.T) {
+	f := func(reqs []struct {
+		Gap uint8
+		Occ uint8
+	}) bool {
+		var s Server
+		now := Time(0)
+		lastEnd := Time(0)
+		for _, r := range reqs {
+			now += Time(r.Gap)
+			occ := Time(r.Occ%32) + 1
+			start := s.Reserve(now, occ)
+			if start < now || start < lastEnd {
+				return false
+			}
+			lastEnd = start + occ
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiServerParallelism(t *testing.T) {
+	m := NewMultiServer(2)
+	a := m.Reserve(0, 10)
+	b := m.Reserve(0, 10)
+	c := m.Reserve(0, 10)
+	if a != 0 || b != 0 {
+		t.Fatalf("two units should start both at 0: got %d, %d", a, b)
+	}
+	if c != 10 {
+		t.Fatalf("third reservation = %d, want 10", c)
+	}
+	if m.Units() != 2 {
+		t.Fatalf("Units = %d, want 2", m.Units())
+	}
+}
+
+func TestMultiServerPicksEarliestUnit(t *testing.T) {
+	m := NewMultiServer(2)
+	m.Reserve(0, 100) // unit 0 busy to 100
+	m.Reserve(0, 10)  // unit 1 busy to 10
+	if got := m.Reserve(20, 5); got != 20 {
+		t.Fatalf("Reserve should use the idle unit: got %d, want 20", got)
+	}
+}
+
+func TestMultiServerInvalidK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewMultiServer(0) did not panic")
+		}
+	}()
+	NewMultiServer(0)
+}
+
+// Property: a MultiServer with k units never has more than k overlapping
+// service periods.
+func TestMultiServerConcurrencyBound(t *testing.T) {
+	f := func(occs []uint8, kRaw uint8) bool {
+		k := int(kRaw%4) + 1
+		m := NewMultiServer(k)
+		type span struct{ start, end Time }
+		var spans []span
+		for i, o := range occs {
+			occ := Time(o%16) + 1
+			now := Time(i) // staggered arrivals
+			start := m.Reserve(now, occ)
+			spans = append(spans, span{start, start + occ})
+		}
+		// At any instant (checked at every span start, where concurrency
+		// is maximal) at most k spans are active.
+		for _, s := range spans {
+			active := 0
+			for _, u := range spans {
+				if u.start <= s.start && s.start < u.end {
+					active++
+				}
+			}
+			if active > k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTokenQueueBasics(t *testing.T) {
+	q := NewTokenQueue(2)
+	if !q.TryAcquire() || !q.TryAcquire() {
+		t.Fatal("acquire on non-full queue failed")
+	}
+	if q.TryAcquire() {
+		t.Fatal("acquire on full queue succeeded")
+	}
+	if !q.Full() {
+		t.Fatal("Full = false on full queue")
+	}
+	q.Release()
+	if !q.TryAcquire() {
+		t.Fatal("acquire after release failed")
+	}
+	if q.Acquired() != 3 || q.Rejected() != 1 || q.Peak() != 2 {
+		t.Fatalf("stats = %d/%d/%d, want 3/1/2", q.Acquired(), q.Rejected(), q.Peak())
+	}
+	if q.Capacity() != 2 {
+		t.Fatalf("Capacity = %d, want 2", q.Capacity())
+	}
+}
+
+func TestTokenQueueReleaseEmptyPanics(t *testing.T) {
+	q := NewTokenQueue(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release on empty queue did not panic")
+		}
+	}()
+	q.Release()
+}
+
+func TestTokenQueueInvalidCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTokenQueue(0) did not panic")
+		}
+	}()
+	NewTokenQueue(0)
+}
+
+// Property: occupancy always stays within [0, capacity].
+func TestTokenQueueOccupancyBounds(t *testing.T) {
+	f := func(ops []bool, capRaw uint8) bool {
+		capacity := int(capRaw%8) + 1
+		q := NewTokenQueue(capacity)
+		for _, acquire := range ops {
+			if acquire {
+				q.TryAcquire()
+			} else if q.InUse() > 0 {
+				q.Release()
+			}
+			if q.InUse() < 0 || q.InUse() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,148 @@
+// Package stats provides the counters, derived-rate helpers, histograms
+// and table renderers from which every experiment artifact (the paper's
+// Tables 1–5 and Figures 2–7) is produced.
+package stats
+
+import "fmt"
+
+// Counter is a monotonically increasing event count.
+type Counter uint64
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { *c++ }
+
+// Add increases the counter by n.
+func (c *Counter) Add(n uint64) { *c += Counter(n) }
+
+// Value returns the current count.
+func (c Counter) Value() uint64 { return uint64(c) }
+
+// Percent returns 100*n/d, or 0 when d is zero.
+func Percent(n, d uint64) float64 {
+	if d == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(d)
+}
+
+// Ratio returns n/d, or 0 when d is zero.
+func Ratio(n, d uint64) float64 {
+	if d == 0 {
+		return 0
+	}
+	return float64(n) / float64(d)
+}
+
+// Improvement returns the percentage runtime improvement of new over
+// base: positive when new is faster. A zero base yields 0.
+func Improvement(baseCycles, newCycles uint64) float64 {
+	if baseCycles == 0 {
+		return 0
+	}
+	return 100 * (float64(baseCycles) - float64(newCycles)) / float64(baseCycles)
+}
+
+// Reduction returns the percentage decrease from base to new (positive
+// when new is smaller). A zero base yields 0.
+func Reduction(base, new uint64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (float64(base) - float64(new)) / float64(base)
+}
+
+// Normalized returns new/base, or 0 when base is zero. It is the y-axis
+// of the paper's Figures 4 and 6 (runtime normalized to the 512-entry
+// configuration).
+func Normalized(base, new uint64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return float64(new) / float64(base)
+}
+
+// Histogram accumulates integer samples into power-of-two buckets:
+// bucket i holds samples in [2^(i-1), 2^i) with bucket 0 holding zero.
+// It is used for write-back re-reference counts (the paper observes
+// Trade2 lines re-referenced >300 times vs <20 for CPW2).
+type Histogram struct {
+	buckets []uint64
+	count   uint64
+	sum     uint64
+	max     uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	idx := 0
+	for x := v; x > 0; x >>= 1 {
+		idx++
+	}
+	for len(h.buckets) <= idx {
+		h.buckets = append(h.buckets, 0)
+	}
+	h.buckets[idx]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// Max returns the largest sample observed (0 when empty).
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Mean returns the average sample (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// CountAtLeast returns how many samples were >= v.
+func (h *Histogram) CountAtLeast(v uint64) uint64 {
+	var total uint64
+	lo := uint64(1)
+	for i, c := range h.buckets {
+		if i == 0 {
+			if v == 0 {
+				total += c
+			}
+			continue
+		}
+		// bucket i spans [2^(i-1), 2^i)
+		hi := lo * 2
+		switch {
+		case lo >= v:
+			total += c
+		case hi <= v:
+			// entirely below threshold
+		default:
+			// straddling bucket: apportion conservatively as included,
+			// since exact per-sample data is not retained.
+			total += c
+		}
+		lo = hi
+	}
+	return total
+}
+
+// Buckets returns a copy of the bucket counts; bucket 0 counts zero
+// samples and bucket i>0 counts samples in [2^(i-1), 2^i).
+func (h *Histogram) Buckets() []uint64 {
+	out := make([]uint64, len(h.buckets))
+	copy(out, h.buckets)
+	return out
+}
+
+// String renders the histogram compactly for reports.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f max=%d", h.count, h.Mean(), h.max)
+}

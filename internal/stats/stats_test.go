@@ -1,0 +1,198 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("Value = %d, want 5", c.Value())
+	}
+}
+
+func TestPercent(t *testing.T) {
+	cases := []struct {
+		n, d uint64
+		want float64
+	}{
+		{1, 2, 50},
+		{3, 4, 75},
+		{0, 10, 0},
+		{5, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Percent(c.n, c.d); got != c.want {
+			t.Errorf("Percent(%d,%d) = %v, want %v", c.n, c.d, got, c.want)
+		}
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(1, 4); got != 0.25 {
+		t.Fatalf("Ratio = %v, want 0.25", got)
+	}
+	if got := Ratio(1, 0); got != 0 {
+		t.Fatalf("Ratio by zero = %v, want 0", got)
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	if got := Improvement(200, 174); got != 13 {
+		t.Fatalf("Improvement = %v, want 13", got)
+	}
+	if got := Improvement(100, 110); got != -10 {
+		t.Fatalf("Improvement (regression) = %v, want -10", got)
+	}
+	if got := Improvement(0, 5); got != 0 {
+		t.Fatalf("Improvement with zero base = %v, want 0", got)
+	}
+}
+
+func TestReduction(t *testing.T) {
+	if got := Reduction(100, 1); got != 99 {
+		t.Fatalf("Reduction = %v, want 99", got)
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	if got := Normalized(200, 150); got != 0.75 {
+		t.Fatalf("Normalized = %v, want 0.75", got)
+	}
+	if got := Normalized(0, 5); got != 0 {
+		t.Fatalf("Normalized with zero base = %v, want 0", got)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 1, 2, 3, 300} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+	if h.Max() != 300 {
+		t.Fatalf("Max = %d, want 300", h.Max())
+	}
+	if h.Sum() != 306 {
+		t.Fatalf("Sum = %d, want 306", h.Sum())
+	}
+	if h.Mean() != 306.0/5 {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+}
+
+func TestHistogramCountAtLeast(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 1, 5, 300, 400} {
+		h.Observe(v)
+	}
+	if got := h.CountAtLeast(256); got != 2 {
+		t.Fatalf("CountAtLeast(256) = %d, want 2", got)
+	}
+	if got := h.CountAtLeast(0); got != 5 {
+		t.Fatalf("CountAtLeast(0) = %d, want 5", got)
+	}
+	if got := h.CountAtLeast(1); got != 4 {
+		t.Fatalf("CountAtLeast(1) = %d, want 4", got)
+	}
+}
+
+func TestHistogramCountInvariant(t *testing.T) {
+	// Property: sum of buckets equals Count for any sample set.
+	f := func(samples []uint16) bool {
+		var h Histogram
+		for _, s := range samples {
+			h.Observe(uint64(s))
+		}
+		var total uint64
+		for _, b := range h.Buckets() {
+			total += b
+		}
+		return total == h.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	var h Histogram
+	h.Observe(10)
+	if !strings.Contains(h.String(), "n=1") {
+		t.Fatalf("String = %q", h.String())
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := NewTable("Demo", "App", "Value")
+	tb.AddRow("TP", "42.1%")
+	md := tb.Markdown()
+	for _, want := range []string{"### Demo", "| App", "| TP ", "42.1%"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("Markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestTableAddRowf(t *testing.T) {
+	tb := NewTable("", "A", "B", "C")
+	tb.AddRowf("x", 1.2345, 7)
+	if tb.Rows[0][1] != "1.23" {
+		t.Fatalf("float cell = %q, want 1.23", tb.Rows[0][1])
+	}
+	if tb.Rows[0][2] != "7" {
+		t.Fatalf("int cell = %q, want 7", tb.Rows[0][2])
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tb := NewTable("", "A", "B")
+	tb.AddRow("only")
+	if len(tb.Rows[0]) != 2 {
+		t.Fatalf("row length = %d, want 2", len(tb.Rows[0]))
+	}
+}
+
+func TestTableOverflowPanics(t *testing.T) {
+	tb := NewTable("", "A")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overlong row did not panic")
+		}
+	}()
+	tb.AddRow("x", "y")
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "A", "B")
+	tb.AddRow("plain", `has,comma "and quote"`)
+	csv := tb.CSV()
+	want := "A,B\nplain,\"has,comma \"\"and quote\"\"\"\n"
+	if csv != want {
+		t.Fatalf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Fatalf("Sparkline length = %d runes, want 4", len([]rune(s)))
+	}
+	if []rune(s)[0] != '▁' || []rune(s)[3] != '█' {
+		t.Fatalf("Sparkline = %q, want rising ramp", s)
+	}
+	if Sparkline(nil) != "" {
+		t.Fatal("empty series should render empty")
+	}
+	flat := Sparkline([]float64{5, 5, 5})
+	r := []rune(flat)
+	if r[0] != r[1] || r[1] != r[2] {
+		t.Fatalf("constant series should be uniform: %q", flat)
+	}
+}

@@ -1,0 +1,310 @@
+package system
+
+import (
+	"fmt"
+
+	"cmpcache/internal/coherence"
+	"cmpcache/internal/config"
+	"cmpcache/internal/trace"
+)
+
+// access is the cpu.IssueFunc: one thread reference enters the
+// hierarchy. The request crosses the core interface unit, reserves an
+// L2 slice port and resolves against the tag array; hits complete at
+// the Table 3 L2 latency, everything else becomes a bus transaction.
+func (s *System) access(tid int, op trace.Op, key uint64, done func(config.Cycles)) {
+	isStore := op == trace.Store
+	cache := s.l2For(tid)
+	issued := s.engine.Now()
+	inner := done
+	done = func(at config.Cycles) {
+		s.fillLatency.Observe(uint64(at - issued))
+		inner(at)
+	}
+	// The port is booked for the cycle the request reaches the slice
+	// (issue + CoreToL2); booking it from the issue event keeps
+	// reservations time-ordered while avoiding an intermediate event.
+	start := cache.ReservePort(key, s.engine.Now()+s.cfg.CoreToL2)
+	s.engine.At(start+s.cfg.L2Access, func() {
+		s.resolve(cache, key, isStore, done, true)
+	})
+}
+
+// resolve classifies the probe outcome and dispatches. count is false on
+// re-attempts after a structural stall so statistics stay truthful.
+func (s *System) resolve(cache l2Handle, key uint64, isStore bool, done func(config.Cycles), count bool) {
+	now := s.engine.Now()
+	switch cache.Probe(key, isStore, count) {
+	case probeHit:
+		done(now)
+
+	case probeWBBufferHit:
+		// The line was caught in the write-back queue before leaving the
+		// chip: cancel the write back and put the line home.
+		e, ok := cache.CancelWB(key)
+		if !ok {
+			// The in-flight write back combined in this same cycle;
+			// treat as a plain miss on re-resolution.
+			s.resolve(cache, key, isStore, done, false)
+			return
+		}
+		vKey, vState, evicted := cache.Reinstall(e)
+		if evicted {
+			s.handleVictim(cache, vKey, vState, now)
+		}
+		if isStore && e.State != coherence.Modified {
+			// Stores to a reinstalled clean/shared line still need
+			// ownership.
+			s.resolve(cache, key, isStore, done, false)
+			return
+		}
+		done(now)
+
+	case probeHitNeedsUpgrade:
+		if cache.AttachMSHR(key, true, done) {
+			cache.CountMSHRAttach()
+			return // an upgrade or fill in flight will complete us
+		}
+		cache.AllocMSHR(key, coherence.Upgrade)
+		cache.AttachMSHR(key, true, done)
+		s.startDemand(cache, key, coherence.Upgrade)
+
+	case probeMiss:
+		if cache.AttachMSHR(key, isStore, done) {
+			cache.CountMSHRAttach()
+			return
+		}
+		if cache.WBQueueFull() || cache.MSHRFull() {
+			// Structural stall: the miss blocks until a slot opens
+			// ("misses to the L2 cache will be blocked and will have to
+			// wait for an open slot").
+			s.engine.Schedule(s.cfg.RetryBackoff, func() {
+				s.resolve(cache, key, isStore, done, false)
+			})
+			return
+		}
+		kind := coherence.Read
+		if isStore {
+			kind = coherence.RWITM
+		}
+		cache.CountMiss()
+		cache.AllocMSHR(key, kind)
+		cache.AttachMSHR(key, isStore, done)
+		s.startDemand(cache, key, kind)
+	}
+}
+
+// startDemand arbitrates for the address ring and schedules the
+// transaction's combined-response event.
+func (s *System) startDemand(cache l2Handle, key uint64, kind coherence.TxnKind) {
+	s.demandTxns++
+	slot := s.ring.ReserveAddress(s.engine.Now())
+	combineAt := slot + s.cfg.AddressPhase
+	s.engine.At(combineAt, func() { s.combineDemand(cache, key, kind) })
+}
+
+// combineDemand is the transaction's atomic snoop-and-commit point: all
+// agents snoop, the Snoop Collector combines, and the requester's tag
+// state (including victim handling) updates. Data movement is scheduled
+// onto the ring and source resources and completes the waiters later.
+func (s *System) combineDemand(cache l2Handle, key uint64, kind coherence.TxnKind) {
+	now := s.engine.Now()
+	isLoad := kind == coherence.Read
+
+	// The snarf reuse tables observe every demand miss on the bus
+	// ("missed on either locally or by another L2 cache"), and the
+	// Table 2 tracker scores write-back reuse.
+	if s.snarfing() {
+		for _, c := range s.l2s {
+			if t := c.SnarfTable(); t != nil {
+				t.RecordMiss(key)
+			}
+		}
+	}
+	s.reuse.recordDemandMiss(key)
+
+	responses := make([]coherence.AgentResponse, 0, len(s.l2s)+2)
+	for _, peer := range s.l2s {
+		if peer.ID() == cache.ID() {
+			continue
+		}
+		resp := peer.SnoopDemand(key, kind)
+		peer.ReservePort(key, now) // snoop consumes peer tag bandwidth
+		responses = append(responses, coherence.AgentResponse{Agent: peer.ID(), Resp: resp})
+	}
+	responses = append(responses, coherence.AgentResponse{
+		Agent: agentL3, Resp: s.l3.SnoopDemand(key, kind, isLoad),
+	})
+	if kind != coherence.Upgrade {
+		responses = append(responses, coherence.AgentResponse{Agent: agentMem, Resp: coherence.RespMemAck})
+	}
+
+	out := s.collector.Combine(kind, responses)
+	if s.debug != nil {
+		s.debug("demand", key, kind, fmt.Sprintf("src=%v l3valid=%v shared=%v", out.Source, out.L3Valid, out.SharedElsewhere))
+	}
+
+	if kind == coherence.Upgrade {
+		s.commitUpgrade(cache, key, now)
+		return
+	}
+	s.commitFill(cache, key, kind, out, now)
+}
+
+// commitUpgrade finishes an ownership claim: peers and the L3 have
+// invalidated their copies during the snoop; our line becomes Modified.
+// If a racing transaction invalidated our copy between issue and
+// combine, the claim restarts as a full RWITM.
+func (s *System) commitUpgrade(cache l2Handle, key uint64, now config.Cycles) {
+	if !cache.State(key).Valid() {
+		s.upgradeRestarts++
+		// Keep the MSHR (with its waiters) but change the kind by
+		// re-allocating after draining.
+		loads, stores := cache.TakeWaiters(key)
+		cache.AllocMSHR(key, coherence.RWITM)
+		for _, w := range loads {
+			cache.AttachMSHR(key, false, w)
+		}
+		for _, w := range stores {
+			cache.AttachMSHR(key, true, w)
+		}
+		s.startDemand(cache, key, coherence.RWITM)
+		return
+	}
+	s.upgrades++
+	cache.SetState(key, coherence.Modified)
+	loads, stores := cache.TakeWaiters(key)
+	for _, w := range loads {
+		w(now)
+	}
+	for _, w := range stores {
+		w(now)
+	}
+}
+
+// fillState decides the requester's installed state per the POWER4-style
+// rules.
+func fillState(kind coherence.TxnKind, out coherence.Outcome) coherence.State {
+	if kind == coherence.RWITM {
+		return coherence.Modified
+	}
+	switch {
+	case out.DirtySource:
+		// The supplier retains the write-back obligation as Tagged; we
+		// are a plain sharer.
+		return coherence.Shared
+	case out.SharedElsewhere:
+		// Most recent reader becomes the designated clean supplier.
+		return coherence.SharedLast
+	default:
+		return coherence.Exclusive
+	}
+}
+
+// commitFill installs the miss response, processes the displaced victim
+// and schedules data arrival from the chosen source.
+func (s *System) commitFill(cache l2Handle, key uint64, kind coherence.TxnKind, out coherence.Outcome, now config.Cycles) {
+	st := fillState(kind, out)
+	vKey, vState, evicted := cache.InstallFill(key, st)
+	if evicted {
+		s.handleVictim(cache, vKey, vState, now)
+	}
+
+	// Data movement: the source access runs first; the data ring is
+	// booked at the cycle the line is actually ready to leave, so
+	// resource reservations always occur in nondecreasing time order
+	// (booking a resource at a future instant would block earlier
+	// requests behind phantom occupancy).
+	var readyAt config.Cycles
+	switch out.Source {
+	case coherence.SourcePeerL2:
+		// The supplier's port was already reserved during its snoop; the
+		// source-access latency covers the data read.
+		s.fillsFromPeer++
+		readyAt = now + s.cfg.PeerSourceLatency - s.cfg.DataRingOccupancy
+	case coherence.SourceL3:
+		s.fillsFromL3++
+		sStart := s.l3.ReserveSlice(key, now)
+		readyAt = sStart + s.cfg.L3SourceLatency - s.cfg.DataRingOccupancy
+	case coherence.SourceMemory:
+		s.fillsFromMem++
+		mStart := s.mem.ReserveRead(now)
+		readyAt = mStart + s.cfg.MemSourceLatency - s.cfg.DataRingOccupancy
+	default:
+		panic("system: demand combine without a data source")
+	}
+
+	s.engine.At(readyAt, func() {
+		dStart := s.ring.ReserveData(s.engine.Now())
+		s.engine.At(dStart+s.cfg.DataRingOccupancy, func() {
+			s.completeFill(cache, key, kind)
+		})
+	})
+}
+
+// completeFill delivers the arrived data to the coalesced waiters and
+// resolves any store-ownership follow-up. Ownership is serialized at
+// the transaction's bus combine, not at data arrival: an RWITM's stores
+// complete unconditionally even if a later transaction has already
+// invalidated the line (the store is ordered before that transaction in
+// coherence order). Restarting in that case would let two stable
+// storers invalidate each other's in-flight fills forever.
+func (s *System) completeFill(cache l2Handle, key uint64, kind coherence.TxnKind) {
+	loads, stores := cache.TakeWaiters(key)
+	at := s.engine.Now()
+	for _, w := range loads {
+		w(at)
+	}
+	if len(stores) == 0 {
+		return
+	}
+	if kind == coherence.RWITM {
+		for _, w := range stores {
+			w(at)
+		}
+		return
+	}
+	// Stores coalesced onto a Read miss still need ownership, unless the
+	// fill landed Exclusive (silent upgrade).
+	switch cache.State(key) {
+	case coherence.Modified:
+		for _, w := range stores {
+			w(at)
+		}
+	case coherence.Exclusive:
+		cache.SetState(key, coherence.Modified)
+		for _, w := range stores {
+			w(at)
+		}
+	case coherence.Invalid:
+		// The clean fill was invalidated before its data arrived; the
+		// store claims the line outright. The RWITM completes its stores
+		// at arrival unconditionally, so this cannot recurse.
+		cache.AllocMSHR(key, coherence.RWITM)
+		for _, w := range stores {
+			cache.AttachMSHR(key, true, w)
+		}
+		s.startDemand(cache, key, coherence.RWITM)
+	default: // S, SL, T: claim ownership on the bus
+		cache.AllocMSHR(key, coherence.Upgrade)
+		for _, w := range stores {
+			cache.AttachMSHR(key, true, w)
+		}
+		s.startDemand(cache, key, coherence.Upgrade)
+	}
+}
+
+// handleVictim routes an evicted line through the Section 2 write-back
+// policy and wakes the write-back pump when an entry was enqueued.
+func (s *System) handleVictim(cache l2Handle, vKey uint64, vState coherence.State, now config.Cycles) {
+	wbhtActive := s.wbhtEnabled() && s.rswitch.Active(now)
+	inL3 := s.l3.Contains(vKey) // oracle peek, used only for scoring
+	action := cache.ProcessVictim(vKey, vState, wbhtActive, inL3)
+	if s.debug != nil {
+		s.debug("victim", vKey, 0, fmt.Sprintf("state=%v action=%d inL3=%v", vState, action, inL3))
+	}
+	if action == l2VictimQueued {
+		s.reuse.recordAttempt(vKey)
+		s.pumpWB(cache.ID())
+	}
+}

@@ -1,0 +1,109 @@
+package system
+
+import "cmpcache/internal/stats"
+
+// reuseTracker measures write-back reuse (the paper's Table 2): for
+// every line it remembers whether a write back is "pending reuse" and
+// scores the next demand miss on that line as a reuse of that write
+// back. Attempted write backs and L3-accepted write backs are tracked
+// separately, since the paper reports reuse as a percentage of both.
+// It also accumulates the per-line re-reference-after-write-back counts
+// behind the paper's Figure 4 discussion ("many lines in Trade2 are
+// written back and then re-referenced more than 300 times").
+type reuseTracker struct {
+	lines map[uint64]*lineReuse
+
+	attempted      uint64
+	accepted       uint64
+	reusedAttempt  uint64
+	reusedAccepted uint64
+}
+
+type lineReuse struct {
+	pendingAttempt  bool
+	pendingAccepted bool
+	everWrittenBack bool
+	rerefs          uint32 // demand misses after the first write back
+}
+
+func newReuseTracker() *reuseTracker {
+	return &reuseTracker{lines: make(map[uint64]*lineReuse)}
+}
+
+func (r *reuseTracker) line(key uint64) *lineReuse {
+	l := r.lines[key]
+	if l == nil {
+		l = &lineReuse{}
+		r.lines[key] = l
+	}
+	return l
+}
+
+// recordAttempt notes a write back entering an L2 write-back queue.
+func (r *reuseTracker) recordAttempt(key uint64) {
+	r.attempted++
+	l := r.line(key)
+	l.pendingAttempt = true
+	l.everWrittenBack = true
+}
+
+// recordAccepted notes a write back absorbed by the L3.
+func (r *reuseTracker) recordAccepted(key uint64) {
+	r.accepted++
+	r.line(key).pendingAccepted = true
+}
+
+// recordDemandMiss scores a demand miss against pending write backs.
+func (r *reuseTracker) recordDemandMiss(key uint64) {
+	l := r.lines[key]
+	if l == nil {
+		return
+	}
+	if l.pendingAttempt {
+		l.pendingAttempt = false
+		r.reusedAttempt++
+	}
+	if l.pendingAccepted {
+		l.pendingAccepted = false
+		r.reusedAccepted++
+	}
+	if l.everWrittenBack {
+		l.rerefs++
+	}
+}
+
+// ReuseStats is the Table 2 output plus the re-reference histogram.
+type ReuseStats struct {
+	Attempted      uint64
+	Accepted       uint64
+	ReusedAttempt  uint64
+	ReusedAccepted uint64
+	Rerefs         stats.Histogram // per-line misses after first write back
+}
+
+func (r *reuseTracker) snapshot() ReuseStats {
+	out := ReuseStats{
+		Attempted:      r.attempted,
+		Accepted:       r.accepted,
+		ReusedAttempt:  r.reusedAttempt,
+		ReusedAccepted: r.reusedAccepted,
+	}
+	for _, l := range r.lines {
+		if l.everWrittenBack {
+			out.Rerefs.Observe(uint64(l.rerefs))
+		}
+	}
+	return out
+}
+
+// PctTotalReused returns reused write backs as a percentage of all
+// attempted write backs (Table 2, "% Total").
+func (s ReuseStats) PctTotalReused() float64 {
+	return stats.Percent(s.ReusedAttempt, s.Attempted)
+}
+
+// PctAcceptedReused returns reused write backs as a percentage of
+// L3-accepted write backs (Table 2, "% Accepted").
+func (s ReuseStats) PctAcceptedReused() float64 {
+	return stats.Percent(s.ReusedAccepted, s.Accepted)
+}

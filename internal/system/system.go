@@ -1,0 +1,171 @@
+// Package system wires the full chip multiprocessor of Figure 1 —
+// sixteen SMT threads, four sliced L2 caches, the snoop-collecting ring,
+// the off-chip L3 victim cache and the memory controller — and
+// orchestrates every coherence transaction end to end under the
+// configured write-back management mechanism.
+//
+// The protocol sequencing model: a transaction's snoop, combine and
+// state transitions all occur atomically at its combined-response event
+// (tag arrays are therefore never in transient states), while data
+// movement books latency and bandwidth on the ring, L3 and memory
+// resources and completes the requesting thread later. This is the
+// standard state-at-commit simplification for bus-serialized protocols;
+// the cycle cost of in-flight windows is preserved, only their
+// observability is collapsed.
+package system
+
+import (
+	"fmt"
+
+	"cmpcache/internal/coherence"
+	"cmpcache/internal/config"
+	"cmpcache/internal/core"
+	"cmpcache/internal/cpu"
+	"cmpcache/internal/l2"
+	"cmpcache/internal/l3"
+	"cmpcache/internal/mem"
+	"cmpcache/internal/ring"
+	"cmpcache/internal/sim"
+	"cmpcache/internal/stats"
+	"cmpcache/internal/trace"
+)
+
+// System is one fully wired simulated chip.
+type System struct {
+	cfg    config.Config
+	engine *sim.Engine
+
+	l2s       []*l2.Cache
+	l3        *l3.Cache
+	mem       *mem.Controller
+	ring      *ring.Ring
+	collector *coherence.Collector
+	rswitch   *core.RetrySwitch
+	threads   *cpu.Complex
+
+	wbInFlight []bool // one write-back bus transaction at a time per L2
+
+	reuse *reuseTracker
+
+	// fillLatency accumulates demand-miss service times (issue-to-data),
+	// the distribution behind the execution-time differences the paper
+	// reports.
+	fillLatency stats.Histogram
+
+	// everInL3 tracks lines that have ever completed an L3 insert,
+	// splitting non-redundant clean write backs into first-time writes
+	// vs. lines the L3 has since lost (diagnostics for Table 1).
+	everInL3     map[uint64]struct{}
+	cleanWBFirst uint64
+	cleanWBLost  uint64
+
+	// debug, when non-nil, is invoked at every combine event (test hook).
+	debug func(ev string, key uint64, kind coherence.TxnKind, extra string)
+
+	// System-level counters (component-level ones live in the
+	// components).
+	fillsFromPeer   uint64
+	fillsFromL3     uint64
+	fillsFromMem    uint64
+	upgrades        uint64
+	demandTxns      uint64
+	wbTxns          uint64
+	wbSquashedByL3  uint64
+	wbSquashedPeer  uint64
+	wbSnarfed       uint64
+	wbToL3          uint64
+	wbRetried       uint64
+	wbCancelled     uint64
+	snarfFallbacks  uint64 // winner could not install after all
+	upgradeRestarts uint64 // upgrade found its line invalidated; became RWITM
+}
+
+// New validates cfg, builds all components and loads tr's per-thread
+// streams. Run() executes the workload to completion.
+func New(cfg config.Config, tr *trace.Trace) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	if tr.Threads > cfg.Threads() {
+		return nil, fmt.Errorf("system: trace has %d threads, chip has %d", tr.Threads, cfg.Threads())
+	}
+	s := &System{
+		cfg:       cfg,
+		engine:    sim.NewEngine(),
+		l3:        l3.New(&cfg),
+		mem:       mem.New(&cfg),
+		ring:      ring.New(&cfg),
+		collector: coherence.NewCollector(),
+		rswitch:   core.NewRetrySwitch(cfg.WBHT),
+		reuse:     newReuseTracker(),
+		everInL3:  make(map[uint64]struct{}),
+	}
+	for i := 0; i < cfg.NumL2(); i++ {
+		s.l2s = append(s.l2s, l2.New(i, &s.cfg))
+	}
+	s.wbInFlight = make([]bool, cfg.NumL2())
+
+	streams := tr.PerThread()
+	// Pad to the chip's thread count so thread->L2 mapping stays fixed.
+	for len(streams) < cfg.Threads() {
+		streams = append(streams, nil)
+	}
+	s.threads = cpu.New(s.engine, &s.cfg, streams, s.access)
+	return s, nil
+}
+
+// Config returns the system's configuration.
+func (s *System) Config() *config.Config { return &s.cfg }
+
+// l2For maps a hardware thread to its L2 cache (each pair of cores —
+// four threads — shares one).
+func (s *System) l2For(tid int) *l2.Cache {
+	return s.l2s[tid/s.cfg.ThreadsPerL2()]
+}
+
+// Run executes the workload to completion and returns the results. It
+// panics if the event queue drains while threads still have work, which
+// would indicate a lost completion (a simulator bug, not a workload
+// property).
+func (s *System) Run() *Results {
+	s.threads.Start()
+	s.engine.Run()
+	if !s.threads.Done() {
+		panic(fmt.Sprintf("system: engine drained with %d accesses outstanding", s.threads.Outstanding()))
+	}
+	return s.results()
+}
+
+// snarfing reports whether L2-to-L2 write-back absorption is active.
+func (s *System) snarfing() bool {
+	return s.cfg.Mechanism == config.Snarf || s.cfg.Mechanism == config.Combined
+}
+
+// wbhtEnabled reports whether the WBHT mechanism is configured (the
+// retry switch decides whether it is consulted at any instant).
+func (s *System) wbhtEnabled() bool {
+	return s.cfg.Mechanism == config.WBHT || s.cfg.Mechanism == config.Combined
+}
+
+// DebugWatchdog installs a periodic progress probe: every million fired
+// events, cb receives the current cycle, total events fired, pending
+// event count and a one-line system snapshot. Diagnostics only.
+func (s *System) DebugWatchdog(cb func(cycles int64, fired uint64, pending int, extra string)) {
+	var probe func()
+	probe = func() {
+		extra := fmt.Sprintf("outstanding=%d wbq=[%d %d %d %d] inflight=%v mshr=[%d %d %d %d] l3tok=%d",
+			s.threads.Outstanding(),
+			s.l2s[0].WBQueueLen(), s.l2s[1].WBQueueLen(), s.l2s[2].WBQueueLen(), s.l2s[3].WBQueueLen(),
+			s.wbInFlight,
+			s.l2s[0].MSHRCount(), s.l2s[1].MSHRCount(), s.l2s[2].MSHRCount(), s.l2s[3].MSHRCount(),
+			s.l3.QueueInUse())
+		cb(int64(s.engine.Now()), s.engine.Fired(), s.engine.Pending(), extra)
+		if !s.threads.Done() {
+			s.engine.Schedule(100_000, probe)
+		}
+	}
+	s.engine.Schedule(0, probe)
+}

@@ -1,0 +1,220 @@
+package system
+
+import (
+	"fmt"
+
+	"cmpcache/internal/coherence"
+	"cmpcache/internal/config"
+	"cmpcache/internal/l2"
+)
+
+// Local aliases keep the transaction-flow code readable.
+type l2Handle = *l2.Cache
+
+const (
+	probeHit             = l2.ProbeHit
+	probeHitNeedsUpgrade = l2.ProbeHitNeedsUpgrade
+	probeWBBufferHit     = l2.ProbeWBBufferHit
+	probeMiss            = l2.ProbeMiss
+	l2VictimQueued       = l2.VictimQueued
+)
+
+// Bus agent identities for the Snoop Collector: L2 caches use their own
+// indices; the L3 and memory controllers take ids beyond any L2's.
+const (
+	agentL3  = 100
+	agentMem = 101
+)
+
+// pumpWB issues the next write back from l2idx's queue onto the ring,
+// one bus transaction in flight per L2 (the queue drains head-first, as
+// a hardware castout machine would).
+func (s *System) pumpWB(l2idx int) {
+	if s.wbInFlight[l2idx] {
+		return
+	}
+	cache := s.l2s[l2idx]
+	entry, ok := cache.HeadWB()
+	if !ok {
+		return
+	}
+	s.wbInFlight[l2idx] = true
+	s.wbTxns++
+	key, kind, snarfable := entry.Key, entry.Kind, entry.Snarfable
+
+	slot := s.ring.ReserveAddress(s.engine.Now())
+	combineAt := slot + s.cfg.AddressPhase
+	s.engine.At(combineAt, func() { s.combineWB(cache, key, kind, snarfable) })
+}
+
+// combineWB is the write back's atomic snoop-and-commit point.
+func (s *System) combineWB(cache l2Handle, key uint64, kind coherence.TxnKind, snarfable bool) {
+	now := s.engine.Now()
+
+	// Every write back on the bus updates the snarf reuse tables ("The
+	// tag for a line is entered into the table when the line is written
+	// back by any L2 cache").
+	if s.snarfing() {
+		for _, c := range s.l2s {
+			if t := c.SnarfTable(); t != nil {
+				t.RecordWriteBack(key)
+			}
+		}
+	}
+
+	l3resp := s.l3.SnoopWB(key, kind)
+	if kind == coherence.CleanWB && l3resp != coherence.RespWBRedundant {
+		if _, ok := s.everInL3[key]; ok {
+			s.cleanWBLost++
+		} else {
+			s.cleanWBFirst++
+		}
+	}
+	responses := []coherence.AgentResponse{{Agent: agentL3, Resp: l3resp}}
+	var peerSquasher l2Handle
+	if s.snarfing() {
+		for _, peer := range s.l2s {
+			if peer.ID() == cache.ID() {
+				continue
+			}
+			resp := peer.SnoopWB(key, kind, snarfable)
+			if snarfable {
+				peer.ReservePort(key, now) // tag access for the snarf check
+			}
+			if resp == coherence.RespWBSquash && peerSquasher == nil {
+				peerSquasher = peer
+			}
+			responses = append(responses, coherence.AgentResponse{Agent: peer.ID(), Resp: resp})
+		}
+	}
+
+	out := s.collector.Combine(kind, responses)
+	if s.debug != nil {
+		s.debug("wb", key, kind, fmt.Sprintf("l3resp=%v retry=%v squash=%v toL3=%v", l3resp, out.Retry, out.WBSquashed, out.WBToL3))
+	}
+	l3Accepted := l3resp == coherence.RespWBAccept
+	releaseL3 := func() {
+		if l3Accepted {
+			s.l3.ReleaseToken()
+			l3Accepted = false
+		}
+	}
+
+	// The WBHT learns from the L3's snoop response to clean write backs
+	// (Section 2, step 3) — on the writing L2's table, or on every
+	// table when the Figure 3 global-allocation variant is enabled. The
+	// table is kept up to date even while the retry switch has disabled
+	// its use.
+	if s.wbhtEnabled() && kind == coherence.CleanWB {
+		l3HasLine := l3resp == coherence.RespWBRedundant
+		if l3HasLine {
+			if s.cfg.WBHT.GlobalAllocate {
+				for _, c := range s.l2s {
+					if w := c.WBHT(); w != nil {
+						w.Allocate(key)
+					}
+				}
+			} else if w := cache.WBHT(); w != nil {
+				w.Allocate(key)
+			}
+		}
+	}
+
+	entry, cancelled := cache.CompleteWB(key)
+	finish := func() {
+		s.wbInFlight[cache.ID()] = false
+		s.pumpWB(cache.ID())
+	}
+
+	switch {
+	case cancelled:
+		// A demand access reclaimed the line while this transaction was
+		// on the bus: ignore the outcome entirely.
+		s.wbCancelled++
+		releaseL3()
+		finish()
+
+	case out.Retry:
+		// The L3 had no queue space and nobody else took the line: the
+		// entry re-arbitrates after a backoff. This is the retry traffic
+		// the adaptive mechanisms exist to reduce.
+		s.wbRetried++
+		s.rswitch.RecordRetry(now)
+		cache.RequeueWB(entry)
+		s.engine.Schedule(s.cfg.RetryBackoff, finish)
+
+	case out.WBSquashed:
+		if out.SquashedByL3 {
+			s.wbSquashedByL3++
+		} else {
+			s.wbSquashedPeer++
+			if kind == coherence.DirtyWB && peerSquasher != nil {
+				// Our dirty data dies with the squash; the squashing peer
+				// holds an identical copy and inherits the write-back
+				// obligation.
+				peerSquasher.TakeWBObligation(key)
+			}
+		}
+		releaseL3()
+		finish()
+
+	case out.WBSnarfed:
+		winner := s.l2s[out.SnarfWinner]
+		if winner.AcceptSnarf(entry) {
+			s.wbSnarfed++
+			releaseL3()
+			// The line moves L2-to-L2 across the data ring.
+			s.ring.ReserveData(now)
+		} else if l3Accepted {
+			// The winner's candidate way vanished within this cycle
+			// (extremely rare); fall back to the L3.
+			s.snarfFallbacks++
+			s.reuse.recordAccepted(key)
+			s.sendToL3(key, kind, now)
+			l3Accepted = false
+		} else {
+			s.snarfFallbacks++
+		}
+		finish()
+
+	case out.WBToL3:
+		s.wbToL3++
+		s.reuse.recordAccepted(key)
+		s.sendToL3(key, kind, now)
+		l3Accepted = false // token released by sendToL3's completion
+		finish()
+
+	default:
+		panic("system: write-back combine with no disposition")
+	}
+}
+
+// sendToL3 moves an accepted write back across the data ring into the
+// L3 array, casting out any displaced dirty victim to memory, and
+// releases the L3's incoming-queue token when the array write retires —
+// the token hold time is what makes bursts of write backs overflow the
+// queue and draw retries.
+func (s *System) sendToL3(key uint64, kind coherence.TxnKind, now config.Cycles) {
+	dStart := s.ring.ReserveData(now)
+	arrive := dStart + s.cfg.DataRingOccupancy
+	s.engine.At(arrive, func() {
+		wStart := s.l3.ReserveSlice(key, s.engine.Now())
+		s.engine.At(wStart+s.cfg.L3SliceOccupancy, func() { s.retireL3Write(key, kind) })
+	})
+}
+
+// retireL3Write installs the line, drains any displaced dirty victim to
+// memory, and frees the incoming-queue token.
+func (s *System) retireL3Write(key uint64, kind coherence.TxnKind) {
+	s.everInL3[key] = struct{}{}
+	if _, castout := s.l3.Insert(key, kind); castout {
+		// The displaced dirty victim must drain to memory before the
+		// L3's buffer entry frees: under memory pressure this castout
+		// backpressure is what turns an L3-thrashing workload (TP) into
+		// a retry storm.
+		memStart := s.mem.ReserveWrite(s.engine.Now())
+		s.engine.At(memStart, s.l3.ReleaseToken)
+		return
+	}
+	s.l3.ReleaseToken()
+}

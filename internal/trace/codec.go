@@ -1,0 +1,265 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Binary format:
+//
+//	magic   "CMPT"            4 bytes
+//	version uvarint           currently 1
+//	name    uvarint length + bytes
+//	threads uvarint
+//	records uvarint count, then per record:
+//	  thread uvarint
+//	  op     uvarint
+//	  addr   uvarint of zigzagged delta from the same thread's previous address
+//	  gap    uvarint
+//
+// Per-thread address deltas exploit spatial locality; typical synthetic
+// traces compress ~3x versus fixed-width encoding.
+
+const (
+	magic         = "CMPT"
+	formatVersion = 1
+)
+
+// ErrBadMagic reports a stream that is not a CMPT trace.
+var ErrBadMagic = errors.New("trace: bad magic (not a CMPT trace)")
+
+func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// WriteBinary encodes t to w in the binary format.
+func WriteBinary(w io.Writer, t *Trace) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(formatVersion); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(len(t.Name))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(t.Name); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(t.Threads)); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(len(t.Records))); err != nil {
+		return err
+	}
+	prevAddr := make([]uint64, t.Threads)
+	for _, r := range t.Records {
+		if err := putUvarint(uint64(r.Thread)); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(r.Op)); err != nil {
+			return err
+		}
+		delta := int64(r.Addr) - int64(prevAddr[r.Thread])
+		prevAddr[r.Thread] = r.Addr
+		if err := putUvarint(zigzag(delta)); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(r.Gap)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary decodes a trace written by WriteBinary.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, ErrBadMagic
+	}
+	version, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading version: %w", err)
+	}
+	if version != formatVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", version)
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading name length: %w", err)
+	}
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("trace: implausible name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("trace: reading name: %w", err)
+	}
+	threads, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading thread count: %w", err)
+	}
+	if threads == 0 || threads > 1<<16 {
+		return nil, fmt.Errorf("trace: implausible thread count %d", threads)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading record count: %w", err)
+	}
+	t := &Trace{
+		Name:    string(name),
+		Threads: int(threads),
+		Records: make([]Record, 0, count),
+	}
+	prevAddr := make([]uint64, threads)
+	for i := uint64(0); i < count; i++ {
+		tid, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d thread: %w", i, err)
+		}
+		if tid >= threads {
+			return nil, fmt.Errorf("trace: record %d thread %d out of range", i, tid)
+		}
+		op, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d op: %w", i, err)
+		}
+		if op >= uint64(numOps) {
+			return nil, fmt.Errorf("trace: record %d invalid op %d", i, op)
+		}
+		deltaRaw, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d addr: %w", i, err)
+		}
+		addr := uint64(int64(prevAddr[tid]) + unzigzag(deltaRaw))
+		prevAddr[tid] = addr
+		gap, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d gap: %w", i, err)
+		}
+		if gap > 1<<32-1 {
+			return nil, fmt.Errorf("trace: record %d gap %d overflows uint32", i, gap)
+		}
+		t.Records = append(t.Records, Record{
+			Thread: uint16(tid),
+			Op:     Op(op),
+			Addr:   addr,
+			Gap:    uint32(gap),
+		})
+	}
+	return t, nil
+}
+
+// WriteText encodes t in a human-readable line format:
+//
+//	# name <name>
+//	# threads <n>
+//	<thread> <op> <addr-hex> <gap>
+func WriteText(w io.Writer, t *Trace) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# name %s\n# threads %d\n", t.Name, t.Threads); err != nil {
+		return err
+	}
+	for _, r := range t.Records {
+		if _, err := fmt.Fprintf(bw, "%d %s %x %d\n", r.Thread, r.Op, r.Addr, r.Gap); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText decodes the text format produced by WriteText.
+func ReadText(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	t := &Trace{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(strings.TrimPrefix(line, "#"))
+			if len(fields) >= 2 {
+				switch fields[0] {
+				case "name":
+					t.Name = strings.Join(fields[1:], " ")
+				case "threads":
+					n, err := strconv.Atoi(fields[1])
+					if err != nil {
+						return nil, fmt.Errorf("trace: line %d: bad thread count: %w", lineNo, err)
+					}
+					t.Threads = n
+				}
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("trace: line %d: want 4 fields, got %d", lineNo, len(fields))
+		}
+		tid, err := strconv.ParseUint(fields[0], 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: thread: %w", lineNo, err)
+		}
+		op, err := ParseOp(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		addr, err := strconv.ParseUint(fields[2], 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: addr: %w", lineNo, err)
+		}
+		gap, err := strconv.ParseUint(fields[3], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: gap: %w", lineNo, err)
+		}
+		t.Records = append(t.Records, Record{
+			Thread: uint16(tid),
+			Op:     op,
+			Addr:   addr,
+			Gap:    uint32(gap),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if t.Threads == 0 {
+		// Infer from the records when no header was present.
+		maxTid := -1
+		for _, r := range t.Records {
+			if int(r.Thread) > maxTid {
+				maxTid = int(r.Thread)
+			}
+		}
+		t.Threads = maxTid + 1
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

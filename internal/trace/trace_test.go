@@ -1,0 +1,287 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sample() *Trace {
+	return &Trace{
+		Name:    "unit",
+		Threads: 3,
+		Records: []Record{
+			{Thread: 0, Op: Load, Addr: 0x1000, Gap: 5},
+			{Thread: 1, Op: Store, Addr: 0x2080, Gap: 0},
+			{Thread: 0, Op: Ifetch, Addr: 0xffee_0000_1234, Gap: 999},
+			{Thread: 2, Op: Load, Addr: 0x80, Gap: 17},
+			{Thread: 0, Op: Load, Addr: 0x0, Gap: 2},
+		},
+	}
+}
+
+func equal(a, b *Trace) bool {
+	if a.Name != b.Name || a.Threads != b.Threads || len(a.Records) != len(b.Records) {
+		return false
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestOpString(t *testing.T) {
+	if Load.String() != "R" || Store.String() != "W" || Ifetch.String() != "I" {
+		t.Fatal("unexpected op names")
+	}
+	if !strings.Contains(Op(9).String(), "9") {
+		t.Fatal("unknown op should format numerically")
+	}
+}
+
+func TestParseOp(t *testing.T) {
+	for _, op := range []Op{Load, Store, Ifetch} {
+		got, err := ParseOp(op.String())
+		if err != nil || got != op {
+			t.Fatalf("ParseOp round trip failed for %v", op)
+		}
+	}
+	if _, err := ParseOp("x"); err == nil {
+		t.Fatal("ParseOp accepted junk")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tr := sample()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	tr.Records[0].Thread = 99
+	if tr.Validate() == nil {
+		t.Fatal("out-of-range thread accepted")
+	}
+	tr = sample()
+	tr.Records[1].Op = 7
+	if tr.Validate() == nil {
+		t.Fatal("invalid op accepted")
+	}
+	tr = sample()
+	tr.Threads = 0
+	if tr.Validate() == nil {
+		t.Fatal("zero threads accepted")
+	}
+}
+
+func TestPerThread(t *testing.T) {
+	streams := sample().PerThread()
+	if len(streams) != 3 {
+		t.Fatalf("streams = %d, want 3", len(streams))
+	}
+	if len(streams[0]) != 3 || len(streams[1]) != 1 || len(streams[2]) != 1 {
+		t.Fatalf("per-thread lengths = %d/%d/%d", len(streams[0]), len(streams[1]), len(streams[2]))
+	}
+	// Thread 0's order must be preserved.
+	if streams[0][0].Addr != 0x1000 || streams[0][2].Addr != 0 {
+		t.Fatal("per-thread order not preserved")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := sample().Summarize(128)
+	if s.Records != 5 || s.Loads != 3 || s.Stores != 1 || s.Ifetches != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.DistinctLines != 5 {
+		t.Fatalf("DistinctLines = %d, want 5", s.DistinctLines)
+	}
+	wantMean := float64(5+0+999+17+2) / 5
+	if s.MeanGap != wantMean {
+		t.Fatalf("MeanGap = %v, want %v", s.MeanGap, wantMean)
+	}
+	if s.FootprintBytes(128) != 5*128 {
+		t.Fatalf("FootprintBytes = %d", s.FootprintBytes(128))
+	}
+}
+
+func TestSummarizeSharedLinesCountedOnce(t *testing.T) {
+	tr := &Trace{Name: "x", Threads: 2, Records: []Record{
+		{Thread: 0, Op: Load, Addr: 0x100},
+		{Thread: 1, Op: Load, Addr: 0x104}, // same 128B line
+	}}
+	if s := tr.Summarize(128); s.DistinctLines != 1 {
+		t.Fatalf("DistinctLines = %d, want 1", s.DistinctLines)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := &Trace{Name: "a", Threads: 2, Records: []Record{{Thread: 1, Op: Load, Addr: 1}}}
+	b := &Trace{Name: "b", Threads: 1, Records: []Record{{Thread: 0, Op: Store, Addr: 2}}}
+	m := Merge("ab", a, b)
+	if m.Threads != 3 {
+		t.Fatalf("Threads = %d, want 3", m.Threads)
+	}
+	if m.Records[0].Thread != 1 || m.Records[1].Thread != 2 {
+		t.Fatalf("remapped threads = %d, %d; want 1, 2", m.Records[0].Thread, m.Records[1].Thread)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("merged trace invalid: %v", err)
+	}
+}
+
+func TestSortByThread(t *testing.T) {
+	tr := sample()
+	tr.SortByThread()
+	for i := 1; i < len(tr.Records); i++ {
+		if tr.Records[i-1].Thread > tr.Records[i].Thread {
+			t.Fatal("records not grouped by thread")
+		}
+	}
+	// Stability: thread 0's internal order preserved.
+	var t0 []uint64
+	for _, r := range tr.Records {
+		if r.Thread == 0 {
+			t0 = append(t0, r.Addr)
+		}
+	}
+	want := []uint64{0x1000, 0xffee_0000_1234, 0}
+	for i := range want {
+		if t0[i] != want[i] {
+			t.Fatalf("thread 0 order = %v, want %v", t0, want)
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	orig := sample()
+	if err := WriteBinary(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equal(orig, got) {
+		t.Fatalf("round trip mismatch:\norig %+v\ngot  %+v", orig, got)
+	}
+}
+
+func TestBinaryRejectsBadMagic(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("NOPE....")); err != ErrBadMagic {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestBinaryRejectsTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{5, len(full) / 2, len(full) - 1} {
+		if _, err := ReadBinary(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d bytes accepted", cut)
+		}
+	}
+}
+
+func TestBinaryRejectsInvalidTrace(t *testing.T) {
+	tr := sample()
+	tr.Records[0].Thread = 200
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err == nil {
+		t.Fatal("WriteBinary accepted an invalid trace")
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	orig := sample()
+	if err := WriteText(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equal(orig, got) {
+		t.Fatalf("round trip mismatch:\norig %+v\ngot  %+v", orig, got)
+	}
+}
+
+func TestTextInfersThreads(t *testing.T) {
+	in := "0 R 100 0\n2 W 200 5\n"
+	tr, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Threads != 3 {
+		t.Fatalf("inferred Threads = %d, want 3", tr.Threads)
+	}
+}
+
+func TestTextRejectsMalformed(t *testing.T) {
+	for _, in := range []string{
+		"0 R 100\n",       // missing field
+		"0 Q 100 0\n",     // bad op
+		"x R 100 0\n",     // bad thread
+		"0 R zz 0\n",      // bad addr
+		"0 R 100 -1\n",    // bad gap
+		"99999 R 100 0\n", // thread out of uint16... actually valid uint16? 99999 > 65535
+	} {
+		if _, err := ReadText(strings.NewReader(in)); err == nil {
+			t.Fatalf("malformed input %q accepted", in)
+		}
+	}
+}
+
+// Property: binary round trip preserves arbitrary traces.
+func TestBinaryRoundTripProperty(t *testing.T) {
+	f := func(recs []struct {
+		Thread uint8
+		Op     uint8
+		Addr   uint64
+		Gap    uint32
+	}, name string) bool {
+		tr := &Trace{Name: name, Threads: 256}
+		for _, r := range recs {
+			tr.Records = append(tr.Records, Record{
+				Thread: uint16(r.Thread),
+				Op:     Op(r.Op % 3),
+				Addr:   r.Addr,
+				Gap:    r.Gap,
+			})
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, tr); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		return equal(tr, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the binary encoding of a grouped, spatially-local trace is
+// smaller than 10 bytes/record (delta compression effectiveness guard).
+func TestBinaryCompression(t *testing.T) {
+	tr := &Trace{Name: "seq", Threads: 1}
+	for i := 0; i < 10000; i++ {
+		tr.Records = append(tr.Records, Record{Op: Load, Addr: uint64(i) * 128, Gap: 1})
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if perRec := float64(buf.Len()) / 10000; perRec > 10 {
+		t.Fatalf("%.1f bytes/record, want <= 10 for sequential trace", perRec)
+	}
+}

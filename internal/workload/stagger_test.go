@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"testing"
+)
+
+func genAddrsByThread(p Profile) map[int][]uint64 {
+	tr := p.MustGenerate()
+	out := map[int][]uint64{}
+	for _, r := range tr.Records {
+		out[int(r.Thread)] = append(out[int(r.Thread)], r.Addr/128)
+	}
+	return out
+}
+
+func loopOnly(lines int, stagger Stagger, skew int) Profile {
+	return Profile{
+		Name: "stagger", Threads: 16, RefsPerThread: 64, Seed: 9,
+		Regions: []Region{
+			{Name: "l", Lines: lines, Weight: 1, Pattern: Loop, Sharing: Global,
+				Stagger: stagger, SkewLines: skew},
+		},
+	}
+}
+
+// TestClassStaggerOverlapsAcrossL2s: with class stagger, corresponding
+// threads of different L2 groups start within the configured skew of
+// each other, so their reference streams overlap heavily.
+func TestClassStaggerOverlapsAcrossL2s(t *testing.T) {
+	byThread := genAddrsByThread(loopOnly(4096, StaggerClass, 0))
+	// Thread 0 (L2 0, class 0) and thread 4 (L2 1, class 0) must start 13
+	// lines apart.
+	d := int64(byThread[4][0]) - int64(byThread[0][0])
+	if d != 13 {
+		t.Fatalf("class-0 cross-L2 offset = %d lines, want 13", d)
+	}
+	// Classes are a quarter loop apart within one L2.
+	q := int64(byThread[1][0]) - int64(byThread[0][0])
+	if q != 4096/4 {
+		t.Fatalf("class spacing = %d, want %d", q, 4096/4)
+	}
+}
+
+// TestRotateStaggerDisjointWindows: with rotate stagger, the L2 groups
+// own disjoint quarters while threads within a group stay tightly
+// bunched.
+func TestRotateStaggerDisjointWindows(t *testing.T) {
+	byThread := genAddrsByThread(loopOnly(4096, StaggerRotate, 0))
+	// Group offsets are a quarter apart.
+	d := int64(byThread[4][0]) - int64(byThread[0][0])
+	if d != 4096/4 {
+		t.Fatalf("group offset = %d, want %d", d, 4096/4)
+	}
+	// Threads within a group trail by 17 lines.
+	w := int64(byThread[1][0]) - int64(byThread[0][0])
+	if w != 17 {
+		t.Fatalf("within-group stagger = %d, want 17", w)
+	}
+}
+
+func TestSkewLinesHonored(t *testing.T) {
+	byThread := genAddrsByThread(loopOnly(4096, StaggerClass, 512))
+	d := int64(byThread[4][0]) - int64(byThread[0][0])
+	if d != 512 {
+		t.Fatalf("cross-L2 skew = %d, want 512", d)
+	}
+}
+
+// TestScatterDecorrelatesSets: instance bases of different regions and
+// instances must not collapse onto the same cache set index modulo the
+// L2/L3 set period.
+func TestScatterDecorrelatesSets(t *testing.T) {
+	p := Profile{
+		Name: "scatter", Threads: 16, RefsPerThread: 1, Seed: 1,
+		Regions: []Region{
+			{Name: "a", Lines: 8, Weight: 0.5, Pattern: Loop, Sharing: Private},
+			{Name: "b", Lines: 8, Weight: 0.5, Pattern: Loop, Sharing: Private},
+		},
+	}
+	// Collect instance base addresses by generating lots of references.
+	p.RefsPerThread = 64
+	tr := p.MustGenerate()
+	// Set-period of the L3: 4 slices x 2048 sets = 8192 lines.
+	const period = 8192
+	seen := map[uint64]int{}
+	for _, r := range tr.Records {
+		seen[(r.Addr/128)%period]++
+	}
+	// 16 threads x 2 regions x 8 lines = 256 distinct lines; with good
+	// scatter, the distinct set-period residues should be close to 256.
+	if len(seen) < 128 {
+		t.Fatalf("set-period residues = %d, want >= 128 (instances alias)", len(seen))
+	}
+}
+
+// TestBuiltinPassCounts guards the tuning invariant that recycling
+// loops complete at least ~2 passes at the default trace length, so
+// steady-state statistics dominate the cold-start transient.
+func TestBuiltinPassCounts(t *testing.T) {
+	for _, p := range All() {
+		for _, r := range p.Regions {
+			if r.Pattern != Loop || r.Sharing == Global {
+				continue
+			}
+			passes := r.Weight * float64(p.RefsPerThread) / float64(r.Lines)
+			if passes < 1.5 {
+				t.Errorf("%s/%s: %.1f passes at default length; recycling loops need >= ~2",
+					p.Name, r.Name, passes)
+			}
+		}
+	}
+}

@@ -1,0 +1,340 @@
+// Package workload synthesizes the L2-traffic traces that stand in for
+// the paper's proprietary commercial workload captures (TP, CPW2,
+// NotesBench, Trade2 — Section 4.2). Real IBM traces are unavailable,
+// so each profile is a mixture of region generators whose knobs
+// (footprint vs. the 2MB L2 and 16MB L3, reuse pattern, sharing degree,
+// store fraction, issue density) are tuned until the simulated baseline
+// reproduces the per-application statistics the paper itself reports:
+// Table 1's redundant-clean-write-back percentages, Table 2's
+// write-back reuse rates, Table 4's L3 load hit rates and retry
+// pressure, and the qualitative behaviors behind Figures 2-7.
+//
+// Generation is deterministic: a profile plus a seed always yields the
+// identical trace, so mechanism comparisons run on byte-identical
+// reference streams.
+package workload
+
+import (
+	"fmt"
+
+	"cmpcache/internal/sim"
+	"cmpcache/internal/trace"
+)
+
+// Pattern selects how a region's lines are visited.
+type Pattern int8
+
+const (
+	// Zipf: skewed random reuse over the region (hot working set).
+	Zipf Pattern = iota
+	// Loop: cyclic sequential sweep (a working set revisited in order —
+	// the classic generator of repeated evict-then-miss behavior when
+	// the region exceeds the L2).
+	Loop
+	// Stride: sequential sweep with no wraparound within a pass but a
+	// fresh restart offset each pass; approximates scan traffic with
+	// weak reuse.
+	Stride
+)
+
+// String names the pattern.
+func (p Pattern) String() string {
+	switch p {
+	case Zipf:
+		return "zipf"
+	case Loop:
+		return "loop"
+	case Stride:
+		return "stride"
+	default:
+		return fmt.Sprintf("Pattern(%d)", int8(p))
+	}
+}
+
+// Sharing selects which threads see the same instance of a region.
+type Sharing int8
+
+const (
+	// Private: each thread owns a disjoint copy.
+	Private Sharing = iota
+	// PerL2: the four threads feeding one L2 share a copy (data
+	// partitioned by core pair, as in partitioned commercial databases).
+	PerL2
+	// Global: all sixteen threads share one copy.
+	Global
+)
+
+// String names the sharing mode.
+func (s Sharing) String() string {
+	switch s {
+	case Private:
+		return "private"
+	case PerL2:
+		return "per-l2"
+	case Global:
+		return "global"
+	default:
+		return fmt.Sprintf("Sharing(%d)", int8(s))
+	}
+}
+
+// Region is one component of a workload's reference mixture.
+type Region struct {
+	Name      string
+	Lines     int     // footprint in 128-byte lines (per instance)
+	Weight    float64 // fraction of references drawn from this region
+	Pattern   Pattern
+	Sharing   Sharing
+	ZipfTheta float64 // skew for Zipf regions
+	StoreFrac float64 // fraction of the region's references that store
+	Ifetch    bool    // region models the code stream
+
+	// SkewLines offsets the loop cursors of corresponding threads in
+	// different L2 groups (Global loops with StaggerClass only; 0 means
+	// a tight 13-line trail). Small skews keep a line resident in
+	// several L2s at once, maximizing peer interventions and write-back
+	// squashes.
+	SkewLines int
+
+	// Stagger selects how a Global loop's cursors distribute across the
+	// chip; see the Stagger constants.
+	Stagger Stagger
+}
+
+// Stagger is the cross-L2 cursor arrangement of a globally shared loop.
+type Stagger int8
+
+const (
+	// StaggerClass (default): every L2 walks the same evenly spaced
+	// windows concurrently. Lines live in several L2s at once — the
+	// regime of peer interventions, write-back squashes and snarfing.
+	StaggerClass Stagger = iota
+	// StaggerRotate: each L2 group owns a disjoint, rotating window.
+	// Lines migrate L2 -> L3 -> next L2, so cross-L2 refetches hit the
+	// L3 victim cache — the regime of high L3 hit rates and redundant
+	// clean write backs without on-chip sharing.
+	StaggerRotate
+)
+
+// Profile is a complete synthetic workload description.
+type Profile struct {
+	Name          string
+	Threads       int
+	RefsPerThread int
+	MeanGap       float64 // geometric mean compute gap between references
+	// BurstLen > 0 issues references in bursts of ~BurstLen with gap 0,
+	// separated by idle periods that preserve MeanGap on average —
+	// bursty write-back trains are what overflow the L3's incoming
+	// queue (TP's retry storms).
+	BurstLen int
+	Regions  []Region
+	Seed     uint64
+}
+
+// Validate reports the first inconsistency in the profile.
+func (p *Profile) Validate() error {
+	if p.Threads <= 0 {
+		return fmt.Errorf("workload %s: Threads = %d", p.Name, p.Threads)
+	}
+	if p.RefsPerThread <= 0 {
+		return fmt.Errorf("workload %s: RefsPerThread = %d", p.Name, p.RefsPerThread)
+	}
+	if len(p.Regions) == 0 {
+		return fmt.Errorf("workload %s: no regions", p.Name)
+	}
+	total := 0.0
+	for i, r := range p.Regions {
+		if r.Lines <= 0 {
+			return fmt.Errorf("workload %s: region %d (%s) has %d lines", p.Name, i, r.Name, r.Lines)
+		}
+		if r.Weight < 0 {
+			return fmt.Errorf("workload %s: region %d (%s) negative weight", p.Name, i, r.Name)
+		}
+		if r.StoreFrac < 0 || r.StoreFrac > 1 {
+			return fmt.Errorf("workload %s: region %d (%s) StoreFrac %v", p.Name, i, r.Name, r.StoreFrac)
+		}
+		total += r.Weight
+	}
+	if total <= 0 {
+		return fmt.Errorf("workload %s: zero total region weight", p.Name)
+	}
+	return nil
+}
+
+const lineBytes = 128
+
+// initialCursor staggers Loop/Stride cursors across the threads sharing
+// a region instance. Globally shared loops spread the thread classes
+// (one thread per L2 in each class) evenly around the loop with a small
+// cross-L2 skew: every L2 then walks the same windows concurrently, so
+// lines are resident in several L2 caches at once — the cross-chip
+// sharing that makes peer write-back squashes, interventions and snarf
+// victims possible, and that lets a line be "already in the L3" because
+// a peer L2 wrote it back first. Privately held instances use a tight
+// stagger so SMT siblings prefetch for each other.
+func initialCursor(r *Region, tid, threadsPerL2 int) int {
+	if r.Pattern == Zipf || r.Lines == 0 {
+		return 0
+	}
+	if r.Sharing == Global && threadsPerL2 > 0 {
+		if r.Stagger == StaggerRotate {
+			groups := 4 // L2 groups on the chip
+			return ((tid/threadsPerL2)*(r.Lines/groups) + (tid%threadsPerL2)*17) % r.Lines
+		}
+		class := tid % threadsPerL2
+		perGroup := r.SkewLines
+		if perGroup == 0 {
+			perGroup = 13
+		}
+		skew := (tid / threadsPerL2) * perGroup
+		return (class*(r.Lines/threadsPerL2) + skew) % r.Lines
+	}
+	return (tid * 17) % r.Lines
+}
+
+// regionState is one thread's view of one region.
+type regionState struct {
+	region *Region
+	base   uint64 // first line address of this thread's instance
+	zipf   *sim.Zipf
+	pos    int // Loop/Stride cursor
+	pass   int
+}
+
+// Generate synthesizes the trace. The result is grouped by thread.
+func (p *Profile) Generate() (*trace.Trace, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	out := &trace.Trace{Name: p.Name, Threads: p.Threads}
+	out.Records = make([]trace.Record, 0, p.Threads*p.RefsPerThread)
+
+	// Region instances occupy disjoint address stripes:
+	// stripe(regionIdx, instanceIdx) at a fixed large pitch.
+	const stripe = uint64(1) << 34
+
+	// Zipf tables are shared across threads (same shape).
+	zipfs := make([]*sim.Zipf, len(p.Regions))
+	for i := range p.Regions {
+		if p.Regions[i].Pattern == Zipf {
+			zipfs[i] = sim.NewZipf(p.Regions[i].Lines, p.Regions[i].ZipfTheta)
+		}
+	}
+	// Cumulative region weights for selection.
+	cum := make([]float64, len(p.Regions))
+	total := 0.0
+	for i, r := range p.Regions {
+		total += r.Weight
+		cum[i] = total
+	}
+
+	threadsPerL2 := 4
+	if p.Threads < 4 {
+		threadsPerL2 = 1
+	}
+
+	for tid := 0; tid < p.Threads; tid++ {
+		rng := sim.NewRand(p.Seed*1_000_003 + uint64(tid)*7919 + 1)
+		states := make([]regionState, len(p.Regions))
+		for i := range p.Regions {
+			r := &p.Regions[i]
+			instance := 0
+			switch r.Sharing {
+			case Private:
+				instance = tid
+			case PerL2:
+				instance = tid / threadsPerL2
+			case Global:
+				instance = 0
+			}
+			// The stripe pitch alone would align every instance's base to
+			// a large power of two, aliasing all instances onto the same
+			// cache sets. A multiplicative-hash offset scatters instance
+			// bases uniformly across the L2 and L3 index space, as real
+			// allocators do. (A small fixed stagger is not enough: any
+			// offset congruent to a few lines modulo the set-index period
+			// piles every instance onto the same sets and produces
+			// conflict evictions in a mostly empty cache.)
+			idx := uint64(i*64 + instance)
+			scatter := (idx * 2654435761) & 0xFFFFF // ~1M-line spread
+			states[i] = regionState{
+				region: r,
+				base:   stripe*idx/uint64(lineBytes) + scatter,
+				zipf:   zipfs[i],
+				pos:    initialCursor(r, tid, threadsPerL2),
+			}
+		}
+		inBurst := 0
+		for n := 0; n < p.RefsPerThread; n++ {
+			// Select region.
+			u := rng.Float64() * total
+			ri := 0
+			for ri < len(cum)-1 && cum[ri] < u {
+				ri++
+			}
+			st := &states[ri]
+			r := st.region
+
+			// Select line.
+			var line int
+			switch r.Pattern {
+			case Zipf:
+				line = st.zipf.Sample(rng)
+			case Loop:
+				line = st.pos
+				st.pos++
+				if st.pos >= r.Lines {
+					st.pos = 0
+				}
+			case Stride:
+				line = st.pos
+				st.pos++
+				if st.pos >= r.Lines {
+					st.pass++
+					// Restart at a pass-dependent offset to weaken reuse.
+					st.pos = (st.pass * 61) % r.Lines
+				}
+			}
+			addr := (st.base + uint64(line)) * lineBytes
+
+			// Select op.
+			op := trace.Load
+			if r.Ifetch {
+				op = trace.Ifetch
+			} else if rng.Float64() < r.StoreFrac {
+				op = trace.Store
+			}
+
+			// Select gap.
+			var gap uint32
+			if p.BurstLen > 0 {
+				if inBurst > 0 {
+					inBurst--
+				} else {
+					// Idle period carrying the burst's share of MeanGap.
+					gap = uint32(rng.Geometric(p.MeanGap * float64(p.BurstLen)))
+					inBurst = p.BurstLen - 1
+				}
+			} else {
+				gap = uint32(rng.Geometric(p.MeanGap))
+			}
+
+			out.Records = append(out.Records, trace.Record{
+				Thread: uint16(tid),
+				Op:     op,
+				Addr:   addr,
+				Gap:    gap,
+			})
+		}
+	}
+	return out, nil
+}
+
+// MustGenerate is Generate for known-good built-in profiles.
+func (p *Profile) MustGenerate() *trace.Trace {
+	t, err := p.Generate()
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

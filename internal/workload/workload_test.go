@@ -1,0 +1,315 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func small() Profile {
+	return Profile{
+		Name:          "unit",
+		Threads:       4,
+		RefsPerThread: 1000,
+		MeanGap:       3,
+		Seed:          1,
+		Regions: []Region{
+			{Name: "hot", Lines: 64, Weight: 0.5, Pattern: Zipf, ZipfTheta: 0.8, Sharing: Global, StoreFrac: 0.3},
+			{Name: "sweep", Lines: 256, Weight: 0.4, Pattern: Loop, Sharing: Private, StoreFrac: 0.1},
+			{Name: "code", Lines: 32, Weight: 0.1, Pattern: Zipf, ZipfTheta: 0.5, Sharing: Global, Ifetch: true},
+		},
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	p := small()
+	tr, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) != 4000 {
+		t.Fatalf("records = %d, want 4000", len(tr.Records))
+	}
+	s := tr.Summarize(128)
+	for tid, n := range s.PerThread {
+		if n != 1000 {
+			t.Fatalf("thread %d has %d records, want 1000", tid, n)
+		}
+	}
+	if s.Ifetches == 0 || s.Stores == 0 || s.Loads == 0 {
+		t.Fatalf("op mix degenerate: %+v", s)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := small()
+	a := p.MustGenerate()
+	b := p.MustGenerate()
+	if len(a.Records) != len(b.Records) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestGenerateSeedChangesTrace(t *testing.T) {
+	p := small()
+	a := p.MustGenerate()
+	p.Seed = 2
+	b := p.MustGenerate()
+	same := true
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestPrivateRegionsDisjoint(t *testing.T) {
+	p := Profile{
+		Name: "priv", Threads: 4, RefsPerThread: 500, Seed: 3,
+		Regions: []Region{
+			{Name: "p", Lines: 128, Weight: 1, Pattern: Loop, Sharing: Private},
+		},
+	}
+	tr := p.MustGenerate()
+	seen := map[uint64]uint16{}
+	for _, r := range tr.Records {
+		if owner, ok := seen[r.Addr]; ok && owner != r.Thread {
+			t.Fatalf("address %#x used by threads %d and %d in a private region",
+				r.Addr, owner, r.Thread)
+		}
+		seen[r.Addr] = r.Thread
+	}
+}
+
+func TestPerL2RegionsSharedWithinGroup(t *testing.T) {
+	p := Profile{
+		Name: "grp", Threads: 8, RefsPerThread: 2000, Seed: 4,
+		Regions: []Region{
+			{Name: "g", Lines: 64, Weight: 1, Pattern: Loop, Sharing: PerL2},
+		},
+	}
+	tr := p.MustGenerate()
+	byGroup := map[int]map[uint64]bool{}
+	for _, r := range tr.Records {
+		g := int(r.Thread) / 4
+		if byGroup[g] == nil {
+			byGroup[g] = map[uint64]bool{}
+		}
+		byGroup[g][r.Addr] = true
+	}
+	if len(byGroup) != 2 {
+		t.Fatalf("groups = %d, want 2", len(byGroup))
+	}
+	// Groups must not overlap; threads within a group must overlap fully
+	// (same 64-line loop).
+	for a := range byGroup[0] {
+		if byGroup[1][a] {
+			t.Fatalf("address %#x shared across L2 groups", a)
+		}
+	}
+	if len(byGroup[0]) != 64 || len(byGroup[1]) != 64 {
+		t.Fatalf("group footprints = %d/%d, want 64/64", len(byGroup[0]), len(byGroup[1]))
+	}
+}
+
+func TestGlobalRegionShared(t *testing.T) {
+	p := Profile{
+		Name: "glob", Threads: 8, RefsPerThread: 2000, Seed: 5,
+		Regions: []Region{
+			{Name: "g", Lines: 32, Weight: 1, Pattern: Loop, Sharing: Global},
+		},
+	}
+	tr := p.MustGenerate()
+	addrs := map[uint64]bool{}
+	for _, r := range tr.Records {
+		addrs[r.Addr] = true
+	}
+	if len(addrs) != 32 {
+		t.Fatalf("global footprint = %d lines, want 32", len(addrs))
+	}
+}
+
+func TestLoopCyclesThroughRegion(t *testing.T) {
+	p := Profile{
+		Name: "loop", Threads: 1, RefsPerThread: 100, Seed: 6,
+		Regions: []Region{
+			{Name: "l", Lines: 10, Weight: 1, Pattern: Loop, Sharing: Private},
+		},
+	}
+	tr := p.MustGenerate()
+	// Consecutive addresses advance by one line, wrapping at 10.
+	for i := 1; i < len(tr.Records); i++ {
+		d := int64(tr.Records[i].Addr) - int64(tr.Records[i-1].Addr)
+		if d != 128 && d != -9*128 {
+			t.Fatalf("loop stride broken at %d: delta %d", i, d)
+		}
+	}
+}
+
+func TestZipfSkewsTowardHotLines(t *testing.T) {
+	p := Profile{
+		Name: "z", Threads: 1, RefsPerThread: 20000, Seed: 7,
+		Regions: []Region{
+			{Name: "z", Lines: 1024, Weight: 1, Pattern: Zipf, ZipfTheta: 0.9, Sharing: Private},
+		},
+	}
+	tr := p.MustGenerate()
+	counts := map[uint64]int{}
+	for _, r := range tr.Records {
+		counts[r.Addr]++
+	}
+	if len(counts) < 200 {
+		t.Fatalf("distinct lines = %d, want broad coverage", len(counts))
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	mean := float64(len(tr.Records)) / float64(len(counts))
+	if float64(max) < 5*mean {
+		t.Fatalf("hottest line %d refs vs mean %.1f: not skewed", max, mean)
+	}
+}
+
+func TestBurstGaps(t *testing.T) {
+	p := small()
+	p.BurstLen = 8
+	p.MeanGap = 10
+	tr := p.MustGenerate()
+	zero, nonzero := 0, 0
+	for _, r := range tr.Records {
+		if r.Gap == 0 {
+			zero++
+		} else {
+			nonzero++
+		}
+	}
+	if zero < nonzero {
+		t.Fatalf("bursty trace has %d zero gaps vs %d idle gaps; bursts missing", zero, nonzero)
+	}
+}
+
+func TestMeanGapRoughlyPreserved(t *testing.T) {
+	p := small()
+	p.BurstLen = 8
+	p.MeanGap = 10
+	p.RefsPerThread = 50000
+	s := p.MustGenerate().Summarize(128)
+	if s.MeanGap < 5 || s.MeanGap > 20 {
+		t.Fatalf("mean gap = %.1f, want within 2x of 10", s.MeanGap)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []func(*Profile){
+		func(p *Profile) { p.Threads = 0 },
+		func(p *Profile) { p.RefsPerThread = 0 },
+		func(p *Profile) { p.Regions = nil },
+		func(p *Profile) { p.Regions[0].Lines = 0 },
+		func(p *Profile) { p.Regions[0].Weight = -1 },
+		func(p *Profile) { p.Regions[0].StoreFrac = 1.5 },
+		func(p *Profile) {
+			for i := range p.Regions {
+				p.Regions[i].Weight = 0
+			}
+		},
+	}
+	for i, mutate := range cases {
+		p := small()
+		mutate(&p)
+		if _, err := p.Generate(); err == nil {
+			t.Fatalf("case %d: invalid profile accepted", i)
+		}
+	}
+}
+
+func TestBuiltinsValid(t *testing.T) {
+	if len(Names()) != 4 {
+		t.Fatalf("builtin count = %d, want 4", len(Names()))
+	}
+	for _, p := range All() {
+		p := p
+		p.RefsPerThread = 200 // keep the test fast
+		tr, err := p.Generate()
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if tr.Threads != 16 {
+			t.Fatalf("%s: threads = %d, want 16", p.Name, tr.Threads)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, spelling := range []string{"TP", "tp", "Trade2", "NotesBench", "CPW2"} {
+		if _, err := ByName(spelling); err != nil {
+			t.Fatalf("ByName(%q): %v", spelling, err)
+		}
+	}
+	if _, err := ByName("specweb"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestPaperNames(t *testing.T) {
+	if PaperName("tp") != "TP" || PaperName("trade2") != "Trade2" ||
+		PaperName("cpw2") != "CPW2" || PaperName("notesbench") != "NotesBench" {
+		t.Fatal("paper display names wrong")
+	}
+	if PaperName("other") != "other" {
+		t.Fatal("unknown names should pass through")
+	}
+}
+
+func TestPatternSharingStrings(t *testing.T) {
+	if Zipf.String() != "zipf" || Loop.String() != "loop" || Stride.String() != "stride" {
+		t.Fatal("pattern names")
+	}
+	if Private.String() != "private" || PerL2.String() != "per-l2" || Global.String() != "global" {
+		t.Fatal("sharing names")
+	}
+}
+
+// Property: any structurally valid profile generates a trace that
+// validates and has the requested record count.
+func TestGenerateAlwaysValidProperty(t *testing.T) {
+	f := func(seed uint64, threadsRaw, linesRaw uint8, theta uint8) bool {
+		p := Profile{
+			Name:          "prop",
+			Threads:       int(threadsRaw%16) + 1,
+			RefsPerThread: 200,
+			MeanGap:       float64(theta % 10),
+			Seed:          seed,
+			Regions: []Region{
+				{Name: "a", Lines: int(linesRaw%200) + 1, Weight: 0.6,
+					Pattern: Pattern(int(seed) % 3), Sharing: Sharing(int(seed>>2) % 3),
+					ZipfTheta: float64(theta%20) / 10, StoreFrac: 0.4},
+				{Name: "b", Lines: 64, Weight: 0.4, Pattern: Loop, Sharing: Global},
+			},
+		}
+		tr, err := p.Generate()
+		if err != nil {
+			return false
+		}
+		return tr.Validate() == nil && len(tr.Records) == p.Threads*200
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
