@@ -9,11 +9,14 @@
 package cmpcache_test
 
 import (
+	"context"
 	"io"
 	"testing"
 
 	"cmpcache"
+	"cmpcache/internal/config"
 	"cmpcache/internal/experiments"
+	"cmpcache/internal/sweep"
 )
 
 const benchRefs = 4000 // per-thread references for benchmark-scale runs
@@ -68,6 +71,34 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(len(tr.Records)*b.N)/b.Elapsed().Seconds(), "refs/s")
 	b.ReportMetric(float64(cycles), "sim-cycles")
 }
+
+// benchSweepGrid runs a real multi-configuration grid (2 workloads x
+// 3 mechanisms x 2 outstanding levels = 12 simulations) through the
+// sweep orchestrator at a given worker count. Comparing the serial and
+// parallel variants shows the orchestrator's wall-clock win on
+// multi-core machines; results are identical by construction (see
+// sweep.TestSimulationDeterministicAcrossWorkers).
+func benchSweepGrid(b *testing.B, workers int) {
+	b.Helper()
+	jobs := sweep.Plan{
+		Workloads:     []string{"tp", "trade2"},
+		Mechanisms:    []config.Mechanism{config.Baseline, config.WBHT, config.Snarf},
+		Outstanding:   []int{2, 6},
+		RefsPerThread: 2000,
+	}.Jobs()
+	for i := 0; i < b.N; i++ {
+		results := sweep.Run(context.Background(), jobs, sweep.Options{Workers: workers})
+		for _, r := range results {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(jobs)*b.N)/b.Elapsed().Seconds(), "sims/s")
+}
+
+func BenchmarkSweepGridSerial(b *testing.B)    { benchSweepGrid(b, 1) }
+func BenchmarkSweepGridParallel4(b *testing.B) { benchSweepGrid(b, 4) }
 
 // BenchmarkMechanismOverhead compares the wall cost of simulating each
 // mechanism on the same trace (the adaptive structures should cost

@@ -10,6 +10,11 @@
 //	cmpbench -experiment table5 -csv        # machine-readable output
 //	cmpbench -experiment all -quick         # reduced sweeps, small traces
 //	cmpbench -experiment all -refs 100000   # longer traces, less warm-up
+//	cmpbench -experiment all -workers 1     # serial runs, same output
+//
+// Each artifact's grid of independent simulation runs executes on the
+// internal/sweep worker pool (GOMAXPROCS-wide by default); rendered
+// artifacts are byte-identical at any -workers value.
 //
 // Absolute magnitudes are not expected to match the paper (its traces
 // are proprietary, billions of references long); the shapes — which
@@ -32,11 +37,12 @@ func main() {
 		refs       = flag.Int("refs", 0, "references per thread (0 = workload default)")
 		quick      = flag.Bool("quick", false, "reduced sweeps and 10K-reference traces")
 		csv        = flag.Bool("csv", false, "emit CSV instead of markdown")
+		workers    = flag.Int("workers", 0, "concurrent simulation runs (0 = GOMAXPROCS)")
 		verbose    = flag.Bool("v", false, "log each simulation run to stderr")
 	)
 	flag.Parse()
 
-	opts := experiments.Options{RefsPerThread: *refs, Quick: *quick, CSV: *csv}
+	opts := experiments.Options{RefsPerThread: *refs, Quick: *quick, CSV: *csv, Workers: *workers}
 	if *quick && *refs == 0 {
 		opts.RefsPerThread = 10000
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +35,7 @@ func main() {
 		global       = flag.Bool("global-wbht", false, "allocate WBHT entries in all L2s (Figure 3 variant)")
 		configFile   = flag.String("config", "", "load a JSON configuration (see -dump-config) before applying flags")
 		dumpConfig   = flag.Bool("dump-config", false, "print the effective configuration as JSON and exit")
+		jsonOut      = flag.Bool("json", false, "print the full result set as JSON instead of the text report")
 	)
 	flag.Parse()
 
@@ -69,10 +71,10 @@ func main() {
 	if set["outstanding"] || *configFile == "" {
 		cfg.MaxOutstanding = *outstanding
 	}
-	if *wbhtEntries > 0 {
+	if set["wbht-entries"] {
 		cfg.WBHT.Entries = *wbhtEntries
 	}
-	if *snarfEntries > 0 {
+	if set["snarf-entries"] {
 		cfg.Snarf.Entries = *snarfEntries
 	}
 	if set["no-retry-switch"] {
@@ -96,6 +98,14 @@ func main() {
 	res, err := cmpcache.Run(cfg, tr)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatalf("%v", err)
+		}
+		return
 	}
 	fmt.Printf("workload             %s (%d refs, %d threads)\n",
 		tr.Name, len(tr.Records), tr.Threads)

@@ -1,0 +1,165 @@
+// Command cmpsweep runs a grid of simulation configurations on the
+// parallel sweep orchestrator (internal/sweep) and reports the results
+// as a table, JSON or CSV.
+//
+// Usage:
+//
+//	cmpsweep -workloads tp,trade2 -mechanisms base,wbht -outstanding 1-6
+//	cmpsweep -mechanisms snarf -table-sizes 512,2048,8192,32768 -workers 8
+//	cmpsweep -workloads all -mechanisms all -outstanding 6 -json out.json
+//
+// The grid is the cross product of the axes. Every job is an
+// independent deterministic simulation, so exports are byte-identical
+// at any -workers value; a configuration that fails (or panics, or
+// exceeds -timeout) reports an error row without stopping the sweep.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"cmpcache/internal/config"
+	"cmpcache/internal/stats"
+	"cmpcache/internal/sweep"
+)
+
+func main() {
+	var (
+		workloads   = flag.String("workloads", "all", "comma-separated workloads (tp,cpw2,notesbench,trade2) or all")
+		mechanisms  = flag.String("mechanisms", "all", "comma-separated mechanisms (base,wbht,snarf,combined) or all")
+		outstanding = flag.String("outstanding", "6", "outstanding-miss axis: list and/or ranges, e.g. 1-6 or 1,2,4")
+		tableSizes  = flag.String("table-sizes", "", "table-entry axis for the active mechanism, e.g. 512,2048,8192 (empty = paper defaults)")
+		refs        = flag.Int("refs", 0, "references per thread (0 = workload default)")
+		workers     = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		timeout     = flag.Duration("timeout", 0, "per-job wall-clock timeout (0 = none)")
+		jsonOut     = flag.String("json", "", "write full results as JSON to this file (- for stdout)")
+		csvOut      = flag.String("csv", "", "write result rows as CSV to this file (- for stdout)")
+		quiet       = flag.Bool("q", false, "suppress the progress lines on stderr")
+	)
+	flag.Parse()
+
+	plan := sweep.Plan{RefsPerThread: *refs}
+	var err error
+	if plan.Workloads, err = sweep.ParseWorkloads(*workloads); err != nil {
+		fatalf("%v", err)
+	}
+	if plan.Mechanisms, err = sweep.ParseMechanisms(*mechanisms); err != nil {
+		fatalf("%v", err)
+	}
+	if plan.Outstanding, err = sweep.ParseIntSpec(*outstanding); err != nil {
+		fatalf("%v", err)
+	}
+	if *tableSizes != "" {
+		if plan.TableSizes, err = sweep.ParseIntSpec(*tableSizes); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	jobs := plan.Jobs()
+	if len(jobs) == 0 {
+		fatalf("empty grid")
+	}
+
+	opts := sweep.Options{Workers: *workers, Timeout: *timeout}
+	if !*quiet {
+		opts.Progress = func(p sweep.Progress) {
+			status := fmt.Sprintf("%6.1fs", p.Duration.Seconds())
+			if p.Cached {
+				status = "cached"
+			}
+			if p.Err != nil {
+				status = "FAILED"
+			}
+			fmt.Fprintf(os.Stderr, "[%3d/%3d eta %4ds] %s  %s\n",
+				p.Done, p.Total, int(p.ETA.Seconds()), status, p.Job)
+		}
+	}
+	start := time.Now()
+	results := sweep.Run(context.Background(), jobs, opts)
+
+	// Suppress the human-readable table when an export owns stdout, so
+	// `-json -` / `-csv -` emit clean machine-readable streams.
+	if *jsonOut != "-" && *csvOut != "-" {
+		if err := printTable(os.Stdout, results, time.Since(start)); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if *jsonOut != "" {
+		if err := writeFile(*jsonOut, results, sweep.WriteJSON); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if *csvOut != "" {
+		if err := writeFile(*csvOut, results, sweep.WriteCSV); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			os.Exit(1) // partial failure: rows reported above
+		}
+	}
+}
+
+// printTable renders the sweep as a markdown table; when the grid
+// includes a baseline run for a (workload, outstanding) pair, variant
+// rows show their runtime improvement over it.
+func printTable(w io.Writer, results []sweep.Result, elapsed time.Duration) error {
+	type pair struct {
+		workload    string
+		outstanding int
+	}
+	baselines := make(map[pair]uint64)
+	for _, r := range results {
+		if r.Job.Mechanism == config.Baseline && r.Err == nil {
+			baselines[pair{r.Job.Workload, r.Job.Outstanding}] = r.Results.Cycles
+		}
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("Sweep — %d configurations in %.1fs wall", len(results), elapsed.Seconds()),
+		"Workload", "Mechanism", "Out", "WBHT", "Snarf", "Cycles", "vs base", "L2 hit %", "L3 load hit %", "Wall")
+	for _, r := range results {
+		if r.Err != nil {
+			t.AddRowf(r.Job.Workload, r.Job.Mechanism, r.Job.Outstanding,
+				r.Job.WBHTEntries, r.Job.SnarfEntries, "error: "+r.Err.Error(), "", "", "", "")
+			continue
+		}
+		improvement := ""
+		if base, ok := baselines[pair{r.Job.Workload, r.Job.Outstanding}]; ok && r.Job.Mechanism != config.Baseline {
+			improvement = fmt.Sprintf("%+.2f%%", stats.Improvement(base, r.Results.Cycles))
+		}
+		wall := fmt.Sprintf("%.2fs", r.Duration.Seconds())
+		if r.Cached {
+			wall = "cached"
+		}
+		t.AddRowf(r.Job.Workload, r.Job.Mechanism, r.Job.Outstanding,
+			r.Job.WBHTEntries, r.Job.SnarfEntries, r.Results.Cycles, improvement,
+			fmt.Sprintf("%.2f", 100*r.Results.L2HitRate()),
+			fmt.Sprintf("%.2f", 100*r.Results.L3LoadHitRate()), wall)
+	}
+	_, err := io.WriteString(w, t.Markdown())
+	return err
+}
+
+func writeFile(path string, results []sweep.Result, write func(io.Writer, []sweep.Result) error) error {
+	if path == "-" {
+		return write(os.Stdout, results)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f, results); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cmpsweep: "+format+"\n", args...)
+	os.Exit(1)
+}

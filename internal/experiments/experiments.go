@@ -4,6 +4,12 @@
 // within a Runner, so the baseline runs that several experiments share
 // execute once.
 //
+// Each artifact first assembles the full set of configurations it
+// needs, then dispatches the uncached ones through the internal/sweep
+// worker pool, so independent simulation runs execute concurrently
+// (Options.Workers; default GOMAXPROCS) while rendering stays fully
+// deterministic.
+//
 // Absolute magnitudes differ from the paper by construction — the
 // original traces are proprietary captures billions of references long,
 // ours are synthetic and ~10^3 times shorter — so each artifact is
@@ -12,13 +18,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"cmpcache/internal/config"
+	"cmpcache/internal/sweep"
 	"cmpcache/internal/system"
-	"cmpcache/internal/trace"
-	"cmpcache/internal/workload"
 )
 
 // Workloads in the paper's presentation order.
@@ -39,6 +45,9 @@ type Options struct {
 	Quick bool
 	// CSV selects CSV output instead of markdown.
 	CSV bool
+	// Workers bounds concurrent simulation runs (0 = GOMAXPROCS). The
+	// rendered artifacts are byte-identical at any worker count.
+	Workers int
 }
 
 func (o Options) outstanding() []int {
@@ -71,66 +80,87 @@ type runKey struct {
 }
 
 // Runner executes and caches simulation runs for the experiment set.
+// Fresh runs are dispatched through the internal/sweep pool.
 type Runner struct {
-	opts   Options
-	traces map[string]*trace.Trace
-	cache  map[runKey]*system.Results
+	opts  Options
+	sim   *sweep.Simulator
+	cache map[runKey]*system.Results
 	// Progress, when non-nil, receives a line per fresh simulation run.
+	// It may be invoked from pool goroutines, but never concurrently.
 	Progress func(string)
 }
 
 // NewRunner returns a Runner with an empty cache.
 func NewRunner(opts Options) *Runner {
 	return &Runner{
-		opts:   opts,
-		traces: make(map[string]*trace.Trace),
-		cache:  make(map[runKey]*system.Results),
+		opts:  opts,
+		sim:   sweep.NewSimulator(),
+		cache: make(map[runKey]*system.Results),
 	}
 }
 
-func (r *Runner) traceFor(name string) (*trace.Trace, error) {
-	if t, ok := r.traces[name]; ok {
-		return t, nil
+// jobFor translates a run key into its sweep job.
+func (r *Runner) jobFor(k runKey) sweep.Job {
+	return sweep.Job{
+		Workload:      k.workload,
+		Mechanism:     k.mech,
+		Outstanding:   k.outstanding,
+		WBHTEntries:   k.wbhtEntries,
+		SnarfEntries:  k.snarfEntries,
+		GlobalWBHT:    k.global,
+		NoSwitch:      k.noSwitch,
+		SnarfLRU:      k.snarfLRU,
+		InvalidOnly:   k.invalidOnly,
+		LinesPerEntry: k.coarse,
+		HistoryRepl:   k.historyRepl,
+		RefsPerThread: r.opts.RefsPerThread,
 	}
-	p, err := workload.ByName(name)
-	if err != nil {
-		return nil, err
-	}
-	if r.opts.RefsPerThread > 0 {
-		p.RefsPerThread = r.opts.RefsPerThread
-	}
-	t, err := p.Generate()
-	if err != nil {
-		return nil, err
-	}
-	r.traces[name] = t
-	return t, nil
 }
 
+// configFor materializes the simulated configuration for a key — the
+// exact configuration the sweep executor runs.
 func (r *Runner) configFor(k runKey) config.Config {
-	cfg := config.Default().WithMechanism(k.mech)
-	cfg.MaxOutstanding = k.outstanding
-	if k.wbhtEntries > 0 {
-		cfg.WBHT.Entries = k.wbhtEntries
+	return r.jobFor(k).Config()
+}
+
+// prefetch executes every uncached key on the sweep pool and fills the
+// cache. Artifacts call it with their complete key set before
+// rendering, so independent runs proceed concurrently while table
+// rendering stays strictly ordered.
+func (r *Runner) prefetch(keys []runKey) error {
+	var jobs []sweep.Job
+	var fresh []runKey
+	seen := make(map[runKey]bool, len(keys))
+	for _, k := range keys {
+		if _, ok := r.cache[k]; ok || seen[k] {
+			continue
+		}
+		seen[k] = true
+		fresh = append(fresh, k)
+		jobs = append(jobs, r.jobFor(k))
 	}
-	if k.snarfEntries > 0 {
-		cfg.Snarf.Entries = k.snarfEntries
+	if len(jobs) == 0 {
+		return nil
 	}
-	cfg.WBHT.GlobalAllocate = k.global
-	if k.noSwitch {
-		cfg.WBHT.SwitchEnabled = false
+	opts := sweep.Options{Workers: r.opts.Workers, Run: r.sim.Run}
+	if r.Progress != nil {
+		opts.Progress = func(p sweep.Progress) {
+			if p.Err != nil || p.Cached {
+				return
+			}
+			r.Progress(fmt.Sprintf("run %s mech=%s out=%d wbht=%d snarf=%d [%d/%d]",
+				p.Job.Workload, p.Job.Mechanism, p.Job.Outstanding,
+				p.Job.WBHTEntries, p.Job.SnarfEntries, p.Done, p.Total))
+		}
 	}
-	if k.snarfLRU {
-		cfg.Snarf.InsertMRU = false
+	results := sweep.Run(context.Background(), jobs, opts)
+	for i, res := range results {
+		if res.Err != nil {
+			return fmt.Errorf("experiments: %w", res.Err)
+		}
+		r.cache[fresh[i]] = res.Results
 	}
-	if k.invalidOnly {
-		cfg.Snarf.VictimizeShared = false
-	}
-	if k.coarse > 1 {
-		cfg.WBHT.LinesPerEntry = k.coarse
-	}
-	cfg.WBHT.HistoryReplacement = k.historyRepl
-	return cfg
+	return nil
 }
 
 // result runs (or recalls) one simulation.
@@ -138,25 +168,10 @@ func (r *Runner) result(k runKey) (*system.Results, error) {
 	if res, ok := r.cache[k]; ok {
 		return res, nil
 	}
-	tr, err := r.traceFor(k.workload)
-	if err != nil {
+	if err := r.prefetch([]runKey{k}); err != nil {
 		return nil, err
 	}
-	cfg := r.configFor(k)
-	if err := cfg.Validate(); err != nil {
-		return nil, fmt.Errorf("experiments: %v", err)
-	}
-	sys, err := system.New(cfg, tr)
-	if err != nil {
-		return nil, err
-	}
-	if r.Progress != nil {
-		r.Progress(fmt.Sprintf("run %s mech=%s out=%d wbht=%d snarf=%d",
-			k.workload, k.mech, k.outstanding, k.wbhtEntries, k.snarfEntries))
-	}
-	res := sys.Run()
-	r.cache[k] = res
-	return res, nil
+	return r.cache[k], nil
 }
 
 // base returns the baseline run for a workload at an outstanding level.

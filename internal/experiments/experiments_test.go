@@ -144,6 +144,59 @@ func TestQuickGrids(t *testing.T) {
 	}
 }
 
+// TestParallelRendersIdenticalArtifacts asserts that dispatching the
+// experiment grid through the sweep pool cannot perturb the artifacts:
+// a Runner at 1 worker and at 8 workers renders byte-identical output.
+func TestParallelRendersIdenticalArtifacts(t *testing.T) {
+	render := func(workers int) string {
+		r := NewRunner(Options{RefsPerThread: 500, Quick: true, Workers: workers})
+		var buf bytes.Buffer
+		for _, name := range []string{"table1", "fig2"} {
+			if err := r.Run(name, &buf); err != nil {
+				t.Fatalf("workers=%d %s: %v", workers, name, err)
+			}
+		}
+		return buf.String()
+	}
+	serial, parallel := render(1), render(8)
+	if serial != parallel {
+		t.Fatalf("artifacts differ across worker counts:\n--- workers=1\n%s\n--- workers=8\n%s", serial, parallel)
+	}
+}
+
+// TestPrefetchDeduplicatesSharedBaselines asserts an artifact's shared
+// baseline runs execute once even when prefetched as a batch.
+func TestPrefetchDeduplicatesSharedBaselines(t *testing.T) {
+	r := tinyRunner()
+	runs := 0
+	r.Progress = func(string) { runs++ }
+	keys := []runKey{
+		baseKey("tp", 6),
+		baseKey("tp", 6),
+		{workload: "tp", mech: config.WBHT, outstanding: 6},
+	}
+	if err := r.prefetch(keys); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 2 {
+		t.Fatalf("prefetch ran %d simulations, want 2", runs)
+	}
+	// A second prefetch of the same keys is fully cached.
+	if err := r.prefetch(keys); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 2 {
+		t.Fatalf("cached prefetch reran simulations: %d", runs)
+	}
+}
+
+func TestPrefetchReportsBadWorkload(t *testing.T) {
+	r := tinyRunner()
+	if err := r.prefetch([]runKey{{workload: "bogus", mech: config.Baseline, outstanding: 6}}); err == nil {
+		t.Fatal("bogus workload accepted")
+	}
+}
+
 // TestAllExperimentsProduceOutput smoke-tests every artifact end to end
 // at tiny scale. This is the integration test for the whole harness.
 func TestAllExperimentsProduceOutput(t *testing.T) {

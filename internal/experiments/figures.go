@@ -9,9 +9,25 @@ import (
 	"cmpcache/internal/workload"
 )
 
+// baseKey is the baseline configuration every improvement figure
+// compares against.
+func baseKey(workload string, outstanding int) runKey {
+	return runKey{workload: workload, mech: config.Baseline, outstanding: outstanding}
+}
+
 // sweepImprovement renders one pressure-sweep figure: percentage runtime
-// improvement over the baseline at each outstanding-miss level.
+// improvement over the baseline at each outstanding-miss level. All
+// grid points are prefetched through the sweep pool before rendering.
 func (r *Runner) sweepImprovement(w io.Writer, title string, variant func(string, int) runKey) error {
+	var keys []runKey
+	for _, name := range Workloads {
+		for _, o := range r.opts.outstanding() {
+			keys = append(keys, baseKey(name, o), variant(name, o))
+		}
+	}
+	if err := r.prefetch(keys); err != nil {
+		return err
+	}
 	headers := []string{"Workload"}
 	for _, o := range r.opts.outstanding() {
 		headers = append(headers, fmt.Sprintf("out=%d", o))
@@ -62,8 +78,19 @@ func (r *Runner) Figure3(w io.Writer) error {
 }
 
 // sizeSweep renders one table-size figure: runtime normalized to the
-// 512-entry configuration at 6 outstanding misses.
+// 512-entry configuration at 6 outstanding misses. All grid points are
+// prefetched through the sweep pool before rendering.
 func (r *Runner) sizeSweep(w io.Writer, title string, variant func(string, int) runKey) error {
+	var keys []runKey
+	for _, name := range Workloads {
+		keys = append(keys, variant(name, 512))
+		for _, entries := range r.opts.tableSizes() {
+			keys = append(keys, variant(name, entries))
+		}
+	}
+	if err := r.prefetch(keys); err != nil {
+		return err
+	}
 	headers := []string{"Workload"}
 	for _, n := range r.opts.tableSizes() {
 		headers = append(headers, fmt.Sprintf("%d", n))
@@ -160,6 +187,18 @@ func (r *Runner) Ablations(w io.Writer) error {
 			return runKey{workload: n, mech: config.WBHT, outstanding: 6, historyRepl: true}
 		}},
 	}
+	var keys []runKey
+	for _, name := range Workloads {
+		keys = append(keys, baseKey(name, 6), baseKey(name, 1),
+			runKey{workload: name, mech: config.WBHT, outstanding: 1},
+			runKey{workload: name, mech: config.WBHT, outstanding: 1, noSwitch: true})
+		for _, v := range variants {
+			keys = append(keys, v.key(name))
+		}
+	}
+	if err := r.prefetch(keys); err != nil {
+		return err
+	}
 	for _, name := range Workloads {
 		base, err := r.base(name, 6)
 		if err != nil {
@@ -207,6 +246,13 @@ func (r *Runner) Ablations(w io.Writer) error {
 // Summary returns a compact per-workload baseline characterization used
 // by cmpbench's header output.
 func (r *Runner) SummaryTable(w io.Writer) error {
+	var keys []runKey
+	for _, name := range Workloads {
+		keys = append(keys, baseKey(name, 6))
+	}
+	if err := r.prefetch(keys); err != nil {
+		return err
+	}
 	t := stats.NewTable("Baseline characterization (6 outstanding)",
 		"Workload", "Cycles", "L2 hit %", "L3 load hit %", "Already-in-L3 %", "WB requests", "L3 retries")
 	for _, name := range Workloads {

@@ -67,6 +67,9 @@ func (r *Runner) render(w io.Writer, t *stats.Table) error {
 // Table1 reproduces "Percentage of Clean L2 Write Backs Already Present
 // in the L3 Cache" on the baseline system.
 func (r *Runner) Table1(w io.Writer) error {
+	if err := r.prefetchBaselines(6); err != nil {
+		return err
+	}
 	t := stats.NewTable("Table 1 — Clean L2 write backs already present in the L3 (baseline, 6 outstanding)",
 		"Workload", "Paper %", "Measured %", "Clean WBs snooped")
 	for _, name := range Workloads {
@@ -83,6 +86,9 @@ func (r *Runner) Table1(w io.Writer) error {
 // Table2 reproduces "Write Back Reuse Statistics" on the baseline
 // system.
 func (r *Runner) Table2(w io.Writer) error {
+	if err := r.prefetchBaselines(6); err != nil {
+		return err
+	}
 	t := stats.NewTable("Table 2 — Write-back reuse (baseline, 6 outstanding)",
 		"Workload", "Paper % total", "Measured % total",
 		"Paper % accepted", "Measured % accepted", "Max rerefs/line")
@@ -123,6 +129,9 @@ func (r *Runner) Table3(w io.Writer) error {
 // Table4 reproduces "Effects of Write Back History Table (6 Loads per
 // Thread Maximum)".
 func (r *Runner) Table4(w io.Writer) error {
+	if err := r.prefetchPairs(config.WBHT, 6); err != nil {
+		return err
+	}
 	t := stats.NewTable("Table 4 — WBHT effects (6 outstanding)",
 		"Workload", "Config", "WBHT correct % (paper)", "WBHT correct %",
 		"L3 load hit % (paper)", "L3 load hit %", "L2 WB requests", "L3 retries")
@@ -155,6 +164,9 @@ func (r *Runner) Table5(w io.Writer) error {
 		metric string
 		paper  map[string]float64
 		value  func(base, snarf *resultsPair) float64
+	}
+	if err := r.prefetchPairs(config.Snarf, 6); err != nil {
+		return err
 	}
 	measured := map[string]*resultsPair{}
 	for _, name := range Workloads {
@@ -207,4 +219,25 @@ func (r *Runner) Table5(w io.Writer) error {
 type resultsPair struct {
 	base  *system.Results
 	snarf *system.Results
+}
+
+// prefetchBaselines warms the cache with every workload's baseline run
+// at the given outstanding level.
+func (r *Runner) prefetchBaselines(outstanding int) error {
+	var keys []runKey
+	for _, name := range Workloads {
+		keys = append(keys, baseKey(name, outstanding))
+	}
+	return r.prefetch(keys)
+}
+
+// prefetchPairs warms the cache with (baseline, mech) pairs for every
+// workload at the given outstanding level.
+func (r *Runner) prefetchPairs(mech config.Mechanism, outstanding int) error {
+	var keys []runKey
+	for _, name := range Workloads {
+		keys = append(keys, baseKey(name, outstanding),
+			runKey{workload: name, mech: mech, outstanding: outstanding})
+	}
+	return r.prefetch(keys)
 }

@@ -3,7 +3,10 @@
 // Tables 1–5 and Figures 2–7) is produced.
 package stats
 
-import "fmt"
+import (
+	"encoding/json"
+	"fmt"
+)
 
 // Counter is a monotonically increasing event count.
 type Counter uint64
@@ -145,4 +148,16 @@ func (h *Histogram) Buckets() []uint64 {
 // String renders the histogram compactly for reports.
 func (h *Histogram) String() string {
 	return fmt.Sprintf("n=%d mean=%.1f max=%d", h.count, h.Mean(), h.max)
+}
+
+// MarshalJSON exports the histogram with stable field names; Buckets[0]
+// counts zero samples and Buckets[i>0] samples in [2^(i-1), 2^i).
+func (h Histogram) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Count   uint64
+		Sum     uint64
+		Max     uint64
+		Mean    float64
+		Buckets []uint64
+	}{h.count, h.sum, h.max, h.Mean(), h.Buckets()})
 }

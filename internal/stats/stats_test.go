@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -194,5 +195,40 @@ func TestSparkline(t *testing.T) {
 	r := []rune(flat)
 	if r[0] != r[1] || r[1] != r[2] {
 		t.Fatalf("constant series should be uniform: %q", flat)
+	}
+}
+
+func TestHistogramMarshalJSON(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 1, 3, 300} {
+		h.Observe(v)
+	}
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Count   uint64
+		Sum     uint64
+		Max     uint64
+		Mean    float64
+		Buckets []uint64
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("histogram export is not valid JSON: %v", err)
+	}
+	if decoded.Count != 4 || decoded.Sum != 304 || decoded.Max != 300 {
+		t.Fatalf("decoded = %+v", decoded)
+	}
+	if decoded.Mean != h.Mean() || len(decoded.Buckets) == 0 {
+		t.Fatalf("decoded = %+v", decoded)
+	}
+	// An empty histogram must export [] for buckets, not null.
+	empty, err := json.Marshal(Histogram{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(empty), "null") {
+		t.Fatalf("empty histogram exports null: %s", empty)
 	}
 }

@@ -1,0 +1,177 @@
+package sweep
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cmpcache/internal/config"
+	"cmpcache/internal/workload"
+)
+
+// Plan describes a sweep grid. Jobs() expands the cross product
+// workloads x mechanisms x outstanding x table sizes into concrete
+// jobs. Empty axes fall back to sensible defaults: all built-in
+// workloads, all four mechanisms, the configured outstanding default,
+// and the paper-default table sizes.
+type Plan struct {
+	Workloads   []string
+	Mechanisms  []config.Mechanism
+	Outstanding []int
+	// TableSizes overrides the active mechanism's table entries: WBHT
+	// entries for WBHT jobs, snarf-table entries for Snarf jobs, both
+	// (as in Section 5.3's equal-capacity split) for Combined jobs.
+	// Baseline jobs carry no tables and ignore the axis.
+	TableSizes []int
+	// RefsPerThread overrides the workload length (0 = profile default).
+	RefsPerThread int
+}
+
+// Jobs expands the plan. Baseline configurations are emitted once per
+// (workload, outstanding) pair regardless of the size axis, so the grid
+// never contains trivially identical baseline jobs.
+func (p Plan) Jobs() []Job {
+	workloads := p.Workloads
+	if len(workloads) == 0 {
+		workloads = workload.Names()
+	}
+	mechanisms := p.Mechanisms
+	if len(mechanisms) == 0 {
+		mechanisms = []config.Mechanism{config.Baseline, config.WBHT, config.Snarf, config.Combined}
+	}
+	outstanding := p.Outstanding
+	if len(outstanding) == 0 {
+		outstanding = []int{0}
+	}
+	sizes := p.TableSizes
+	if len(sizes) == 0 {
+		sizes = []int{0}
+	}
+
+	var jobs []Job
+	for _, w := range workloads {
+		for _, o := range outstanding {
+			for _, m := range mechanisms {
+				base := Job{
+					Workload:      w,
+					Mechanism:     m,
+					Outstanding:   o,
+					RefsPerThread: p.RefsPerThread,
+				}
+				if m == config.Baseline {
+					jobs = append(jobs, base)
+					continue
+				}
+				for _, s := range sizes {
+					j := base
+					switch m {
+					case config.WBHT:
+						j.WBHTEntries = s
+					case config.Snarf:
+						j.SnarfEntries = s
+					case config.Combined:
+						j.WBHTEntries = s
+						j.SnarfEntries = s
+					}
+					jobs = append(jobs, j)
+				}
+			}
+		}
+	}
+	return jobs
+}
+
+// Validate checks that every named workload exists, so a misspelled
+// grid fails before any simulation starts.
+func (p Plan) Validate() error {
+	for _, w := range p.Workloads {
+		if _, err := workload.ByName(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParseIntSpec parses a sweep-axis specification: comma-separated
+// values and inclusive ranges, e.g. "1-6", "512,2048,8192" or "1-3,6".
+func ParseIntSpec(spec string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if lo, hi, ok := strings.Cut(part, "-"); ok {
+			a, err := strconv.Atoi(strings.TrimSpace(lo))
+			if err != nil {
+				return nil, fmt.Errorf("sweep: bad range %q in %q", part, spec)
+			}
+			b, err := strconv.Atoi(strings.TrimSpace(hi))
+			if err != nil {
+				return nil, fmt.Errorf("sweep: bad range %q in %q", part, spec)
+			}
+			if b < a {
+				return nil, fmt.Errorf("sweep: descending range %q in %q", part, spec)
+			}
+			for v := a; v <= b; v++ {
+				out = append(out, v)
+			}
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: bad value %q in %q", part, spec)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("sweep: empty spec %q", spec)
+	}
+	return out, nil
+}
+
+// ParseMechanisms parses a comma-separated mechanism list ("base,wbht")
+// or the shorthand "all".
+func ParseMechanisms(spec string) ([]config.Mechanism, error) {
+	if strings.EqualFold(strings.TrimSpace(spec), "all") {
+		return []config.Mechanism{config.Baseline, config.WBHT, config.Snarf, config.Combined}, nil
+	}
+	var out []config.Mechanism
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		var m config.Mechanism
+		if err := m.UnmarshalText([]byte(part)); err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("sweep: empty mechanism spec %q", spec)
+	}
+	return out, nil
+}
+
+// ParseWorkloads parses a comma-separated workload list or "all".
+func ParseWorkloads(spec string) ([]string, error) {
+	if strings.EqualFold(strings.TrimSpace(spec), "all") {
+		return workload.Names(), nil
+	}
+	var out []string
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if _, err := workload.ByName(part); err != nil {
+			return nil, err
+		}
+		out = append(out, strings.ToLower(part))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("sweep: empty workload spec %q", spec)
+	}
+	return out, nil
+}

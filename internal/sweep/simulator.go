@@ -1,0 +1,89 @@
+package sweep
+
+import (
+	"context"
+	"sync"
+
+	"cmpcache/internal/system"
+	"cmpcache/internal/trace"
+	"cmpcache/internal/workload"
+)
+
+// Simulator is the default job executor: it synthesizes (and caches)
+// workload traces and runs each job's configuration through the
+// simulator. It is safe for concurrent use; identical (workload,
+// length) traces are generated once and shared — the simulator only
+// reads trace records, so sharing across concurrent runs is safe.
+type Simulator struct {
+	mu     sync.Mutex
+	traces map[traceKey]*traceEntry
+}
+
+type traceKey struct {
+	name string
+	refs int
+}
+
+type traceEntry struct {
+	ready chan struct{}
+	tr    *trace.Trace
+	err   error
+}
+
+// NewSimulator returns a Simulator with an empty trace cache.
+func NewSimulator() *Simulator {
+	return &Simulator{traces: make(map[traceKey]*traceEntry)}
+}
+
+// trace returns the cached trace for (name, refs), generating it at
+// most once even under concurrent callers.
+func (s *Simulator) trace(ctx context.Context, name string, refs int) (*trace.Trace, error) {
+	key := traceKey{name: name, refs: refs}
+	s.mu.Lock()
+	e, ok := s.traces[key]
+	if !ok {
+		e = &traceEntry{ready: make(chan struct{})}
+		s.traces[key] = e
+	}
+	s.mu.Unlock()
+	if !ok {
+		e.tr, e.err = generate(name, refs)
+		close(e.ready)
+		return e.tr, e.err
+	}
+	select {
+	case <-e.ready:
+		return e.tr, e.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func generate(name string, refs int) (*trace.Trace, error) {
+	p, err := workload.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	if refs > 0 {
+		p.RefsPerThread = refs
+	}
+	return p.Generate()
+}
+
+// Run executes one job to completion. The simulation itself is not
+// preemptible; ctx gates only the setup phase (trace generation wait).
+func (s *Simulator) Run(ctx context.Context, j Job) (*system.Results, error) {
+	tr, err := s.trace(ctx, j.Workload, j.RefsPerThread)
+	if err != nil {
+		return nil, err
+	}
+	cfg := j.Config()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sys, err := system.New(cfg, tr)
+	if err != nil {
+		return nil, err
+	}
+	return sys.Run(), nil
+}

@@ -1,0 +1,334 @@
+// Package sweep is the parallel sweep orchestrator: it fans independent
+// simulation runs out across a bounded pool of goroutines and collects
+// their results deterministically.
+//
+// Every evaluation artifact in the paper (Figures 2-7, Tables 1-5) is a
+// sweep over independent configurations — workloads x mechanisms x
+// outstanding-miss counts x table sizes. The simulator itself is
+// single-threaded and deterministic; this package supplies the
+// concurrency *between* runs:
+//
+//   - a Job/Result model with a Plan builder that expands grids;
+//   - a worker pool with bounded concurrency, per-job panic recovery
+//     (a crashing configuration reports an error result instead of
+//     killing the sweep), per-job wall-clock timing and an optional
+//     per-job timeout;
+//   - deterministic output ordering (results are returned in job order
+//     regardless of completion order) and within-sweep deduplication,
+//     so identical jobs execute once;
+//   - JSON/CSV export and a progress callback (done / total / ETA).
+//
+// The orchestrator never reorders or perturbs simulation inputs, so a
+// sweep run with 1 worker and with N workers exports byte-identical
+// results.
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"cmpcache/internal/config"
+	"cmpcache/internal/system"
+)
+
+// Job identifies one simulation configuration, keyed the same way the
+// experiment harness keys its run cache. The zero value of every
+// override field means "paper default". Job is comparable: two equal
+// Jobs are the same simulation and are deduplicated within a sweep.
+type Job struct {
+	Workload    string
+	Mechanism   config.Mechanism
+	Outstanding int // 0 = config default (6)
+
+	// Table-size overrides (0 = mechanism default).
+	WBHTEntries  int
+	SnarfEntries int
+
+	// Policy variants (zero value = paper policy).
+	GlobalWBHT    bool // Figure 3: allocate WBHT entries in all L2s
+	NoSwitch      bool // disable the retry-rate on/off switch
+	SnarfLRU      bool // insert snarfed lines at LRU instead of MRU
+	InvalidOnly   bool // snarf only into Invalid ways
+	LinesPerEntry int  // WBHT coarse entries (0 or 1 = per-line)
+	HistoryRepl   bool // WBHT-informed L2 replacement (Section 7)
+
+	// RefsPerThread overrides the workload length (0 = profile default).
+	RefsPerThread int
+}
+
+// Config materializes the simulated system configuration for the job.
+func (j Job) Config() config.Config {
+	cfg := config.Default().WithMechanism(j.Mechanism)
+	if j.Outstanding > 0 {
+		cfg.MaxOutstanding = j.Outstanding
+	}
+	if j.WBHTEntries > 0 {
+		cfg.WBHT.Entries = j.WBHTEntries
+	}
+	if j.SnarfEntries > 0 {
+		cfg.Snarf.Entries = j.SnarfEntries
+	}
+	cfg.WBHT.GlobalAllocate = j.GlobalWBHT
+	if j.NoSwitch {
+		cfg.WBHT.SwitchEnabled = false
+	}
+	if j.SnarfLRU {
+		cfg.Snarf.InsertMRU = false
+	}
+	if j.InvalidOnly {
+		cfg.Snarf.VictimizeShared = false
+	}
+	if j.LinesPerEntry > 1 {
+		cfg.WBHT.LinesPerEntry = j.LinesPerEntry
+	}
+	cfg.WBHT.HistoryReplacement = j.HistoryRepl
+	return cfg
+}
+
+// String renders the job compactly for progress lines and errors,
+// omitting fields left at their defaults.
+func (j Job) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/%s", j.Workload, j.Mechanism)
+	if j.Outstanding > 0 {
+		fmt.Fprintf(&b, " out=%d", j.Outstanding)
+	}
+	if j.WBHTEntries > 0 {
+		fmt.Fprintf(&b, " wbht=%d", j.WBHTEntries)
+	}
+	if j.SnarfEntries > 0 {
+		fmt.Fprintf(&b, " snarf=%d", j.SnarfEntries)
+	}
+	for _, v := range []struct {
+		on   bool
+		name string
+	}{
+		{j.GlobalWBHT, "global"},
+		{j.NoSwitch, "no-switch"},
+		{j.SnarfLRU, "lru-insert"},
+		{j.InvalidOnly, "invalid-only"},
+		{j.HistoryRepl, "hist-repl"},
+	} {
+		if v.on {
+			b.WriteByte(' ')
+			b.WriteString(v.name)
+		}
+	}
+	if j.LinesPerEntry > 1 {
+		fmt.Fprintf(&b, " coarse=%d", j.LinesPerEntry)
+	}
+	return b.String()
+}
+
+// Result is the outcome of one job. Exactly one of Results and Err is
+// meaningful. Duration and Cached describe this sweep's execution and
+// are excluded from JSON/CSV export so exports are reproducible across
+// worker counts.
+type Result struct {
+	Job     Job
+	Results *system.Results
+	Err     error
+
+	// Duration is the wall-clock time of the simulation run (zero for
+	// jobs satisfied by an identical job's result).
+	Duration time.Duration
+	// Cached reports that this job was deduplicated against an
+	// identical job earlier in the sweep.
+	Cached bool
+}
+
+// Progress reports sweep advancement; the pool invokes the callback
+// once per finished job, serialized (never concurrently).
+type Progress struct {
+	Done     int // jobs finished so far, including this one
+	Total    int
+	Job      Job
+	Err      error
+	Cached   bool
+	Duration time.Duration // this job's wall clock (zero when Cached)
+	Elapsed  time.Duration // since the sweep started
+	ETA      time.Duration // naive remaining-time estimate
+}
+
+// RunFunc executes one job. Implementations must be safe for
+// concurrent use; the default is (*Simulator).Run.
+type RunFunc func(context.Context, Job) (*system.Results, error)
+
+// Options controls pool execution.
+type Options struct {
+	// Workers bounds concurrency; <= 0 means GOMAXPROCS.
+	Workers int
+	// Timeout, when positive, cancels each job that runs longer. The
+	// timed-out job reports context.DeadlineExceeded; the sweep
+	// continues. (The event-driven simulator is not preemptible, so an
+	// abandoned run finishes on its goroutine in the background.)
+	Timeout time.Duration
+	// Progress, when non-nil, receives one serialized event per
+	// finished job.
+	Progress func(Progress)
+	// Run overrides the job executor (tests, fault injection). Nil
+	// uses a fresh Simulator shared by the sweep.
+	Run RunFunc
+}
+
+// Run executes jobs on a bounded worker pool and returns one Result per
+// job, in job order. Identical jobs execute once and share a result.
+// Run never fails as a whole: per-job errors (including recovered
+// panics and timeouts) are reported on the individual Result. A
+// cancelled ctx marks not-yet-started jobs with ctx.Err().
+func Run(ctx context.Context, jobs []Job, opts Options) []Result {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	runFn := opts.Run
+	if runFn == nil {
+		runFn = NewSimulator().Run
+	}
+
+	results := make([]Result, len(jobs))
+	pool := &pool{
+		entries: make(map[Job]*entry, len(jobs)),
+		total:   len(jobs),
+		start:   time.Now(),
+		report:  opts.Progress,
+	}
+
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for idx := range idxCh {
+				results[idx] = pool.execute(ctx, jobs[idx], runFn, opts.Timeout)
+			}
+		}()
+	}
+	for idx := range jobs {
+		idxCh <- idx
+	}
+	close(idxCh)
+	wg.Wait()
+	return results
+}
+
+// entry is the shared execution record for one distinct Job.
+type entry struct {
+	ready chan struct{} // closed once res/err/dur are final
+	res   *system.Results
+	err   error
+	dur   time.Duration
+}
+
+type pool struct {
+	mu      sync.Mutex
+	entries map[Job]*entry
+
+	progressMu sync.Mutex
+	done       int
+	total      int
+	start      time.Time
+	report     func(Progress)
+}
+
+// execute runs (or awaits) the entry for job and returns its Result.
+func (p *pool) execute(ctx context.Context, job Job, runFn RunFunc, timeout time.Duration) Result {
+	p.mu.Lock()
+	e, dup := p.entries[job]
+	if !dup {
+		e = &entry{ready: make(chan struct{})}
+		p.entries[job] = e
+	}
+	p.mu.Unlock()
+
+	r := Result{Job: job, Cached: dup}
+	if !dup {
+		start := time.Now()
+		e.res, e.err = runJob(ctx, runFn, job, timeout)
+		e.dur = time.Since(start)
+		close(e.ready)
+		r.Results, r.Err, r.Duration = e.res, e.err, e.dur
+	} else {
+		select {
+		case <-e.ready:
+			r.Results, r.Err = e.res, e.err
+		case <-ctx.Done():
+			r.Err = ctx.Err()
+		}
+	}
+	p.progress(r)
+	return r
+}
+
+func (p *pool) progress(r Result) {
+	if p.report == nil {
+		p.progressMu.Lock()
+		p.done++
+		p.progressMu.Unlock()
+		return
+	}
+	p.progressMu.Lock()
+	defer p.progressMu.Unlock()
+	p.done++
+	elapsed := time.Since(p.start)
+	var eta time.Duration
+	if p.done > 0 && p.done < p.total {
+		eta = elapsed / time.Duration(p.done) * time.Duration(p.total-p.done)
+	}
+	p.report(Progress{
+		Done:     p.done,
+		Total:    p.total,
+		Job:      r.Job,
+		Err:      r.Err,
+		Cached:   r.Cached,
+		Duration: r.Duration,
+		Elapsed:  elapsed,
+		ETA:      eta,
+	})
+}
+
+// runJob wraps one execution with timeout plumbing and panic recovery.
+func runJob(ctx context.Context, fn RunFunc, job Job, timeout time.Duration) (*system.Results, error) {
+	if timeout <= 0 {
+		return safeRun(ctx, fn, job)
+	}
+	tctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	type outcome struct {
+		res *system.Results
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		res, err := safeRun(tctx, fn, job)
+		ch <- outcome{res, err}
+	}()
+	select {
+	case o := <-ch:
+		return o.res, o.err
+	case <-tctx.Done():
+		return nil, fmt.Errorf("sweep: job %s: %w", job, tctx.Err())
+	}
+}
+
+// safeRun converts a panicking job into an error result so one broken
+// configuration cannot take down the sweep.
+func safeRun(ctx context.Context, fn RunFunc, job Job) (res *system.Results, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, fmt.Errorf("sweep: job %s panicked: %v", job, p)
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return fn(ctx, job)
+}

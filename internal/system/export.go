@@ -1,0 +1,51 @@
+package system
+
+import "encoding/json"
+
+// DerivedMetrics are the rates and percentages the paper's tables are
+// built from, precomputed so exported results are useful without
+// reimplementing the formulas.
+type DerivedMetrics struct {
+	L2HitRate               float64
+	L3LoadHitRate           float64
+	OffChipAccesses         uint64
+	PctCleanWBAlreadyInL3   float64
+	PctWBSnarfed            float64
+	PctSnarfedUsedLocally   float64
+	PctSnarfedInterventions float64
+	PctTotalReused          float64
+	PctAcceptedReused       float64
+	WBHTCorrectRate         float64
+	MeanFillLatency         float64
+	MaxFillLatency          uint64
+}
+
+// Derived computes the full derived-metric block for the run.
+func (r *Results) Derived() DerivedMetrics {
+	return DerivedMetrics{
+		L2HitRate:               r.L2HitRate(),
+		L3LoadHitRate:           r.L3LoadHitRate(),
+		OffChipAccesses:         r.OffChipAccesses(),
+		PctCleanWBAlreadyInL3:   r.PctCleanWBAlreadyInL3(),
+		PctWBSnarfed:            r.PctWBSnarfed(),
+		PctSnarfedUsedLocally:   r.PctSnarfedUsedLocally(),
+		PctSnarfedInterventions: r.PctSnarfedInterventions(),
+		PctTotalReused:          r.Reuse.PctTotalReused(),
+		PctAcceptedReused:       r.Reuse.PctAcceptedReused(),
+		WBHTCorrectRate:         r.WBHT.CorrectRate(),
+		MeanFillLatency:         r.FillLatency.Mean(),
+		MaxFillLatency:          r.FillLatency.Max(),
+	}
+}
+
+// MarshalJSON exports the complete result set under the stable Go field
+// names, appending a Derived block with the rates behind each paper
+// table. Identical runs marshal to identical bytes (the simulator is
+// deterministic and encoding/json orders struct fields by declaration).
+func (r *Results) MarshalJSON() ([]byte, error) {
+	type plain Results // shed MarshalJSON to avoid recursion
+	return json.Marshal(struct {
+		*plain
+		Derived DerivedMetrics
+	}{(*plain)(r), r.Derived()})
+}
