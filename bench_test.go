@@ -60,15 +60,17 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 	cfg := cmpcache.DefaultConfig()
 	b.ResetTimer()
-	var cycles uint64
+	var cycles, events uint64
 	for i := 0; i < b.N; i++ {
 		res, err := cmpcache.Run(cfg, tr)
 		if err != nil {
 			b.Fatal(err)
 		}
 		cycles = res.Cycles
+		events += res.EventsFired
 	}
 	b.ReportMetric(float64(len(tr.Records)*b.N)/b.Elapsed().Seconds(), "refs/s")
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
 	b.ReportMetric(float64(cycles), "sim-cycles")
 }
 

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"cmpcache"
+	"cmpcache/internal/experiments"
+)
+
+// The -bench-json mode measures every evaluation artifact at benchmark
+// scale (the bench_test.go grid: 4000 references per thread, -quick
+// sweeps) and records wall time, allocation count and event throughput
+// into a tracked JSON file. Runs accumulate under distinct labels, so
+// the checked-in BENCH_core.json can hold a pre-optimization baseline
+// next to the current measurement:
+//
+//	go run ./cmd/cmpbench -bench-json BENCH_core.json -bench-label current
+//
+// Because every simulation is deterministic, the events count per
+// artifact is a property of the workload grid, not of the machine; only
+// ns_per_op, allocs_per_op and events_per_sec vary between runs.
+
+// benchScaleRefs matches bench_test.go's benchRefs so ns_per_op here is
+// directly comparable to `go test -bench` output.
+const benchScaleRefs = 4000
+
+type artifactMeasurement struct {
+	NsPerOp      int64   `json:"ns_per_op"`
+	AllocsPerOp  uint64  `json:"allocs_per_op"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+type benchRun struct {
+	Label     string                         `json:"label"`
+	Commit    string                         `json:"commit,omitempty"`
+	Date      string                         `json:"date,omitempty"`
+	Go        string                         `json:"go"`
+	CPUs      int                            `json:"cpus"`
+	Note      string                         `json:"note,omitempty"`
+	Artifacts map[string]artifactMeasurement `json:"artifacts"`
+}
+
+type benchFile struct {
+	Schema string     `json:"schema"`
+	Note   string     `json:"note,omitempty"`
+	Runs   []benchRun `json:"runs"`
+}
+
+// runBenchJSON measures all artifacts and merges the run into path,
+// replacing any existing run with the same label.
+func runBenchJSON(path, label string) error {
+	run := benchRun{
+		Label:     label,
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		Go:        runtime.Version(),
+		CPUs:      runtime.NumCPU(),
+		Artifacts: make(map[string]artifactMeasurement),
+	}
+
+	names := append([]string{}, experiments.Names...)
+	for _, name := range names {
+		if name == "summary" {
+			continue // renders from the table1/table5 cache; no fresh runs
+		}
+		m, err := measureArtifact(name)
+		if err != nil {
+			return err
+		}
+		run.Artifacts[name] = m
+		fmt.Fprintf(os.Stderr, "%-10s %12d ns/op %10d allocs/op %12.0f events/s\n",
+			name, m.NsPerOp, m.AllocsPerOp, m.EventsPerSec)
+	}
+	m, err := measureThroughput()
+	if err != nil {
+		return err
+	}
+	run.Artifacts["throughput"] = m
+	fmt.Fprintf(os.Stderr, "%-10s %12d ns/op %10d allocs/op %12.0f events/s\n",
+		"throughput", m.NsPerOp, m.AllocsPerOp, m.EventsPerSec)
+
+	file := benchFile{Schema: "cmpcache-bench/v1"}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &file); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	replaced := false
+	for i := range file.Runs {
+		if file.Runs[i].Label == label {
+			run.Commit, run.Note = file.Runs[i].Commit, file.Runs[i].Note
+			file.Runs[i] = run
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		file.Runs = append(file.Runs, run)
+	}
+
+	out, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// measureArtifact runs one experiment end to end on a fresh Runner
+// (cold caches, as bench_test.go does) and reports wall time, the
+// process-wide allocation delta and engine-event throughput.
+func measureArtifact(name string) (artifactMeasurement, error) {
+	runner := experiments.NewRunner(experiments.Options{
+		RefsPerThread: benchScaleRefs,
+		Quick:         true,
+	})
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	if err := runner.Run(name, io.Discard); err != nil {
+		return artifactMeasurement{}, err
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	return measurement(elapsed, m1.Mallocs-m0.Mallocs, runner.SimEvents()), nil
+}
+
+// measureThroughput times one raw simulator run (the
+// BenchmarkSimulatorThroughput workload).
+func measureThroughput() (artifactMeasurement, error) {
+	tr, err := cmpcache.GenerateWorkloadSized("trade2", benchScaleRefs)
+	if err != nil {
+		return artifactMeasurement{}, err
+	}
+	cfg := cmpcache.DefaultConfig()
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	res, err := cmpcache.Run(cfg, tr)
+	if err != nil {
+		return artifactMeasurement{}, err
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	return measurement(elapsed, m1.Mallocs-m0.Mallocs, res.EventsFired), nil
+}
+
+func measurement(elapsed time.Duration, allocs, events uint64) artifactMeasurement {
+	return artifactMeasurement{
+		NsPerOp:      elapsed.Nanoseconds(),
+		AllocsPerOp:  allocs,
+		Events:       events,
+		EventsPerSec: float64(events) / elapsed.Seconds(),
+	}
+}

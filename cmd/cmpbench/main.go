@@ -39,8 +39,18 @@ func main() {
 		csv        = flag.Bool("csv", false, "emit CSV instead of markdown")
 		workers    = flag.Int("workers", 0, "concurrent simulation runs (0 = GOMAXPROCS)")
 		verbose    = flag.Bool("v", false, "log each simulation run to stderr")
+		benchJSON  = flag.String("bench-json", "", "measure every artifact at benchmark scale and record ns/op, allocs/op and events/sec into this JSON file (see BENCH_core.json)")
+		benchLabel = flag.String("bench-label", "current", "run label for -bench-json (an existing run with the same label is replaced)")
 	)
 	flag.Parse()
+
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON, *benchLabel); err != nil {
+			fmt.Fprintf(os.Stderr, "cmpbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	opts := experiments.Options{RefsPerThread: *refs, Quick: *quick, CSV: *csv, Workers: *workers}
 	if *quick && *refs == 0 {

@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"cmpcache"
 	"cmpcache/internal/config"
@@ -36,8 +38,35 @@ func main() {
 		configFile   = flag.String("config", "", "load a JSON configuration (see -dump-config) before applying flags")
 		dumpConfig   = flag.Bool("dump-config", false, "print the effective configuration as JSON and exit")
 		jsonOut      = flag.Bool("json", false, "print the full result set as JSON instead of the text report")
+		cpuprofile   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprofile   = flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained allocations
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatalf("memprofile: %v", err)
+			}
+		}()
+	}
 
 	cfg := cmpcache.DefaultConfig()
 	if *configFile != "" {

@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"cmpcache/internal/config"
@@ -39,8 +41,35 @@ func main() {
 		jsonOut     = flag.String("json", "", "write full results as JSON to this file (- for stdout)")
 		csvOut      = flag.String("csv", "", "write result rows as CSV to this file (- for stdout)")
 		quiet       = flag.Bool("q", false, "suppress the progress lines on stderr")
+		cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+		memprofile  = flag.String("memprofile", "", "write a pprof heap profile (after the sweep) to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained allocations
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatalf("memprofile: %v", err)
+			}
+		}()
+	}
 
 	plan := sweep.Plan{RefsPerThread: *refs}
 	var err error

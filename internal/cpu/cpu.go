@@ -36,6 +36,10 @@ type thread struct {
 	wakePending bool
 	done        bool
 
+	// doneFn is the thread's completion callback, bound once at
+	// construction so issuing a reference allocates nothing.
+	doneFn func(config.Cycles)
+
 	issued    uint64
 	completed uint64
 	finish    config.Cycles
@@ -51,6 +55,10 @@ type Complex struct {
 	max       int
 	active    int
 	finish    config.Cycles
+
+	// hTryIssue is the wake/park event handler (EventData.Ptr is the
+	// thread), bound once so per-cycle scheduling allocates nothing.
+	hTryIssue sim.Handler
 }
 
 // New builds a thread complex. streams[i] is thread i's reference
@@ -66,8 +74,10 @@ func New(engine *sim.Engine, cfg *config.Config, streams [][]trace.Record, issue
 		lineShift: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
 		max:       cfg.MaxOutstanding,
 	}
+	c.hTryIssue = func(d sim.EventData) { c.tryIssue(d.Ptr.(*thread)) }
 	for i, recs := range streams {
 		th := &thread{id: i, recs: recs}
+		th.doneFn = func(at config.Cycles) { c.complete(th, at) }
 		if len(recs) == 0 {
 			th.done = true
 		} else {
@@ -82,8 +92,7 @@ func New(engine *sim.Engine, cfg *config.Config, streams [][]trace.Record, issue
 func (c *Complex) Start() {
 	for _, th := range c.threads {
 		if !th.done {
-			th := th
-			c.engine.Schedule(0, func() { c.tryIssue(th) })
+			c.engine.ScheduleCall(0, c.hTryIssue, sim.EventData{Ptr: th})
 		}
 	}
 }
@@ -100,7 +109,7 @@ func (c *Complex) tryIssue(th *thread) {
 		if eligible > now {
 			if !th.wakePending {
 				th.wakePending = true
-				c.engine.At(eligible, func() { c.tryIssue(th) })
+				c.engine.AtCall(eligible, c.hTryIssue, sim.EventData{Ptr: th})
 			}
 			return
 		}
@@ -109,7 +118,7 @@ func (c *Complex) tryIssue(th *thread) {
 		th.issued++
 		th.lastIssue = now
 		key := r.Addr >> c.lineShift
-		c.issue(th.id, r.Op, key, func(at config.Cycles) { c.complete(th, at) })
+		c.issue(th.id, r.Op, key, th.doneFn)
 		now = c.engine.Now() // issue may run nested events
 	}
 	c.checkDone(th, now)

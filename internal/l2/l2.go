@@ -85,6 +85,8 @@ type WBEntry struct {
 }
 
 // mshr tracks one outstanding miss and the accesses coalesced onto it.
+// Nodes are pooled: the waiter slices keep their capacity across
+// reuses, so tracking a miss allocates nothing in steady state.
 type mshr struct {
 	key          uint64
 	kind         coherence.TxnKind
@@ -101,9 +103,15 @@ type Cache struct {
 	sliceMask  uint64
 	sliceShift uint
 
-	mshrs map[uint64]*mshr
+	mshrs    map[uint64]*mshr
+	mshrPool *sim.Pool[mshr]
+	// drainLoads/drainStores are the reusable buffers TakeWaiters
+	// returns; their contents are valid until the next TakeWaiters call
+	// on this cache.
+	drainLoads  []func(config.Cycles)
+	drainStores []func(config.Cycles)
 
-	wbq []WBEntry // FIFO; index 0 is head
+	wbq wbDeque // FIFO; index 0 is head
 
 	wbht  *core.WBHT       // nil unless mechanism enables it
 	snarf *core.SnarfTable // nil unless mechanism enables it
@@ -127,8 +135,11 @@ func New(id int, cfg *config.Config) *Cache {
 		ports:      make([]sim.Server, cfg.L2Slices),
 		sliceMask:  uint64(cfg.L2Slices - 1),
 		sliceShift: uint(bits.TrailingZeros(uint(cfg.L2Slices))),
-		mshrs:      make(map[uint64]*mshr),
+		mshrs:      make(map[uint64]*mshr, cfg.MSHRsPerL2),
+		mshrPool:   sim.NewPool(func() *mshr { return &mshr{} }),
+		wbq:        newWBDeque(cfg.WBQueueEntries + 1),
 	}
+	c.mshrPool.Prime(cfg.MSHRsPerL2)
 	switch cfg.Mechanism {
 	case config.WBHT:
 		c.wbht = core.NewWBHT(cfg.WBHT)
@@ -250,7 +261,11 @@ func (c *Cache) AllocMSHR(key uint64, kind coherence.TxnKind) {
 	if _, ok := c.mshrs[key]; ok {
 		panic(fmt.Sprintf("l2 %d: duplicate MSHR for %#x", c.id, key))
 	}
-	c.mshrs[key] = &mshr{key: key, kind: kind}
+	m := c.mshrPool.Get()
+	m.key, m.kind = key, kind
+	m.loadWaiters = m.loadWaiters[:0]
+	m.storeWaiters = m.storeWaiters[:0]
+	c.mshrs[key] = m
 }
 
 // AttachMSHR registers a completion callback on an outstanding miss,
@@ -282,14 +297,19 @@ func (c *Cache) MSHRKind(key uint64) coherence.TxnKind {
 }
 
 // TakeWaiters removes key's MSHR and returns its coalesced load and
-// store completion callbacks. It panics when no MSHR exists.
+// store completion callbacks. It panics when no MSHR exists. The
+// returned slices are reused storage, valid until the next TakeWaiters
+// call on this cache; the MSHR node itself returns to the pool.
 func (c *Cache) TakeWaiters(key uint64) (loads, stores []func(config.Cycles)) {
 	m, ok := c.mshrs[key]
 	if !ok {
 		panic(fmt.Sprintf("l2 %d: TakeWaiters on absent MSHR %#x", c.id, key))
 	}
 	delete(c.mshrs, key)
-	return m.loadWaiters, m.storeWaiters
+	c.drainLoads = append(c.drainLoads[:0], m.loadWaiters...)
+	c.drainStores = append(c.drainStores[:0], m.storeWaiters...)
+	c.mshrPool.Put(m)
+	return c.drainLoads, c.drainStores
 }
 
 // CountMiss records that a probe became a new bus transaction.
@@ -304,14 +324,14 @@ func (c *Cache) CountMSHRAttach() { c.stats.MSHRAttach++ }
 // WBQueueFull reports whether the write-back queue has no free slot; a
 // full queue blocks demand misses ("misses to the L2 cache will be
 // blocked and will have to wait for an open slot").
-func (c *Cache) WBQueueFull() bool { return len(c.wbq) >= c.cfg.WBQueueEntries }
+func (c *Cache) WBQueueFull() bool { return c.wbq.Len() >= c.cfg.WBQueueEntries }
 
 // WBQueueLen returns current occupancy.
-func (c *Cache) WBQueueLen() int { return len(c.wbq) }
+func (c *Cache) WBQueueLen() int { return c.wbq.Len() }
 
 func (c *Cache) findWB(key uint64) int {
-	for i := range c.wbq {
-		if c.wbq[i].Key == key && !c.wbq[i].Cancelled {
+	for i := 0; i < c.wbq.Len(); i++ {
+		if e := c.wbq.At(i); e.Key == key && !e.Cancelled {
 			return i
 		}
 	}
@@ -326,11 +346,11 @@ func (c *Cache) CancelWB(key uint64) (WBEntry, bool) {
 	if i < 0 {
 		return WBEntry{}, false
 	}
-	e := c.wbq[i]
-	if c.wbq[i].InFlight {
-		c.wbq[i].Cancelled = true
+	e := *c.wbq.At(i)
+	if e.InFlight {
+		c.wbq.At(i).Cancelled = true
 	} else {
-		c.wbq = append(c.wbq[:i], c.wbq[i+1:]...)
+		c.wbq.RemoveAt(i)
 	}
 	return e, true
 }
@@ -338,10 +358,10 @@ func (c *Cache) CancelWB(key uint64) (WBEntry, bool) {
 // HeadWB returns the next entry to issue (skipping cancelled ones) and
 // marks it in flight. ok is false when the queue has no issuable entry.
 func (c *Cache) HeadWB() (*WBEntry, bool) {
-	for i := range c.wbq {
-		if !c.wbq[i].Cancelled && !c.wbq[i].InFlight {
-			c.wbq[i].InFlight = true
-			return &c.wbq[i], true
+	for i := 0; i < c.wbq.Len(); i++ {
+		if e := c.wbq.At(i); !e.Cancelled && !e.InFlight {
+			e.InFlight = true
+			return e, true
 		}
 	}
 	return nil, false
@@ -350,9 +370,9 @@ func (c *Cache) HeadWB() (*WBEntry, bool) {
 // RetryWB returns the in-flight entry for key to issuable state so it
 // re-arbitrates after backoff.
 func (c *Cache) RetryWB(key uint64) {
-	for i := range c.wbq {
-		if c.wbq[i].Key == key && c.wbq[i].InFlight {
-			c.wbq[i].InFlight = false
+	for i := 0; i < c.wbq.Len(); i++ {
+		if e := c.wbq.At(i); e.Key == key && e.InFlight {
+			e.InFlight = false
 			return
 		}
 	}
@@ -366,17 +386,17 @@ func (c *Cache) RetryWB(key uint64) {
 func (c *Cache) RequeueWB(e WBEntry) {
 	e.InFlight = false
 	e.Cancelled = false
-	c.wbq = append([]WBEntry{e}, c.wbq...)
+	c.wbq.PushFront(e)
 }
 
 // CompleteWB removes the in-flight (possibly cancelled) entry for key,
 // returning it along with whether it had been cancelled while on the
 // bus.
 func (c *Cache) CompleteWB(key uint64) (entry WBEntry, wasCancelled bool) {
-	for i := range c.wbq {
-		if c.wbq[i].Key == key && c.wbq[i].InFlight {
-			entry = c.wbq[i]
-			c.wbq = append(c.wbq[:i], c.wbq[i+1:]...)
+	for i := 0; i < c.wbq.Len(); i++ {
+		if e := c.wbq.At(i); e.Key == key && e.InFlight {
+			entry = *e
+			c.wbq.RemoveAt(i)
 			return entry, entry.Cancelled
 		}
 	}
@@ -441,7 +461,7 @@ func (c *Cache) ProcessVictim(key uint64, st coherence.State, wbhtActive, inL3 b
 	if c.snarf != nil {
 		entry.Snarfable = c.snarf.Snarfable(key)
 	}
-	c.wbq = append(c.wbq, entry)
+	c.wbq.PushBack(entry)
 	return VictimQueued
 }
 

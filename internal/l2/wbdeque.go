@@ -1,0 +1,93 @@
+package l2
+
+// wbDeque is the write-back queue's storage: a growable power-of-two
+// ring buffer with O(1) PushBack and PushFront and order-preserving
+// interior removal. It replaces the former slice representation, whose
+// RequeueWB prepend (append([]WBEntry{e}, wbq...)) allocated a fresh
+// slice and copied the whole queue on every retried write back.
+//
+// Indices are head-relative: At(0) is the oldest entry. The queue is
+// tiny (WBQueueEntries is 8 in the paper's configuration), so the
+// O(len) shifts in RemoveAt stay within one cache line of entries.
+type wbDeque struct {
+	buf  []WBEntry
+	head int // buf index of element 0
+	n    int
+}
+
+// newWBDeque returns a deque pre-sized to hold at least capacity
+// entries without growing.
+func newWBDeque(capacity int) wbDeque {
+	size := 4
+	for size < capacity {
+		size <<= 1
+	}
+	return wbDeque{buf: make([]WBEntry, size)}
+}
+
+// Len returns the number of queued entries.
+func (d *wbDeque) Len() int { return d.n }
+
+// At returns a pointer to the i-th entry from the head, for in-place
+// mutation. It panics on an out-of-range index.
+func (d *wbDeque) At(i int) *WBEntry {
+	if i < 0 || i >= d.n {
+		panic("l2: wbDeque index out of range")
+	}
+	return &d.buf[(d.head+i)&(len(d.buf)-1)]
+}
+
+// PushBack appends an entry at the tail (youngest position).
+func (d *wbDeque) PushBack(e WBEntry) {
+	if d.n == len(d.buf) {
+		d.grow()
+	}
+	d.buf[(d.head+d.n)&(len(d.buf)-1)] = e
+	d.n++
+}
+
+// PushFront inserts an entry at the head (oldest position), ahead of
+// every queued entry — the RequeueWB path.
+func (d *wbDeque) PushFront(e WBEntry) {
+	if d.n == len(d.buf) {
+		d.grow()
+	}
+	d.head = (d.head - 1) & (len(d.buf) - 1)
+	d.buf[d.head] = e
+	d.n++
+}
+
+// RemoveAt deletes the i-th entry from the head, preserving the
+// relative order of the rest. The shorter side of the queue is shifted.
+func (d *wbDeque) RemoveAt(i int) {
+	if i < 0 || i >= d.n {
+		panic("l2: wbDeque remove out of range")
+	}
+	mask := len(d.buf) - 1
+	if i < d.n-1-i {
+		// Shift the head segment toward the tail by one.
+		for j := i; j > 0; j-- {
+			d.buf[(d.head+j)&mask] = d.buf[(d.head+j-1)&mask]
+		}
+		d.buf[d.head] = WBEntry{}
+		d.head = (d.head + 1) & mask
+	} else {
+		// Shift the tail segment toward the head by one.
+		for j := i; j < d.n-1; j++ {
+			d.buf[(d.head+j)&mask] = d.buf[(d.head+j+1)&mask]
+		}
+		d.buf[(d.head+d.n-1)&mask] = WBEntry{}
+	}
+	d.n--
+}
+
+// grow doubles the buffer, re-linearizing entries from the head.
+func (d *wbDeque) grow() {
+	grown := make([]WBEntry, 2*len(d.buf))
+	mask := len(d.buf) - 1
+	for i := 0; i < d.n; i++ {
+		grown[i] = d.buf[(d.head+i)&mask]
+	}
+	d.buf = grown
+	d.head = 0
+}

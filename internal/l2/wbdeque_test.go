@@ -1,0 +1,155 @@
+package l2
+
+import (
+	"math/rand"
+	"testing"
+
+	"cmpcache/internal/coherence"
+	"cmpcache/internal/config"
+)
+
+func dequeKeys(d *wbDeque) []uint64 {
+	keys := make([]uint64, 0, d.Len())
+	for i := 0; i < d.Len(); i++ {
+		keys = append(keys, d.At(i).Key)
+	}
+	return keys
+}
+
+func TestWBDequeFIFO(t *testing.T) {
+	d := newWBDeque(8)
+	for k := uint64(1); k <= 20; k++ { // forces growth past the pre-size
+		d.PushBack(WBEntry{Key: k})
+	}
+	if d.Len() != 20 {
+		t.Fatalf("Len = %d, want 20", d.Len())
+	}
+	for want := uint64(1); want <= 20; want++ {
+		if got := d.At(0).Key; got != want {
+			t.Fatalf("head = %d, want %d", got, want)
+		}
+		d.RemoveAt(0)
+	}
+	if d.Len() != 0 {
+		t.Fatalf("Len after drain = %d, want 0", d.Len())
+	}
+}
+
+func TestWBDequePushFrontOrdersBeforeQueued(t *testing.T) {
+	d := newWBDeque(8)
+	d.PushBack(WBEntry{Key: 2})
+	d.PushBack(WBEntry{Key: 3})
+	d.PushFront(WBEntry{Key: 1})
+	want := []uint64{1, 2, 3}
+	got := dequeKeys(&d)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWBDequeInteriorRemove(t *testing.T) {
+	for remove := 0; remove < 5; remove++ {
+		d := newWBDeque(8)
+		// Exercise a wrapped layout: rotate the head before filling.
+		d.PushBack(WBEntry{Key: 99})
+		d.RemoveAt(0)
+		for k := uint64(0); k < 5; k++ {
+			d.PushBack(WBEntry{Key: k})
+		}
+		d.RemoveAt(remove)
+		var want []uint64
+		for k := uint64(0); k < 5; k++ {
+			if int(k) != remove {
+				want = append(want, k)
+			}
+		}
+		got := dequeKeys(&d)
+		if len(got) != len(want) {
+			t.Fatalf("remove %d: %v, want %v", remove, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("remove %d: %v, want %v", remove, got, want)
+			}
+		}
+	}
+}
+
+// TestWBDequeMatchesSlice drives the deque and a plain-slice reference
+// through randomized push/pop/remove/requeue sequences and requires
+// identical contents at every step — the old representation's observable
+// behavior is the spec.
+func TestWBDequeMatchesSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := newWBDeque(8)
+	var ref []uint64
+	next := uint64(100)
+	for step := 0; step < 5000; step++ {
+		switch op := rng.Intn(4); {
+		case op == 0 || d.n == 0: // PushBack
+			d.PushBack(WBEntry{Key: next})
+			ref = append(ref, next)
+			next++
+		case op == 1: // PushFront (requeue)
+			d.PushFront(WBEntry{Key: next})
+			ref = append([]uint64{next}, ref...)
+			next++
+		case op == 2: // interior remove
+			i := rng.Intn(d.Len())
+			d.RemoveAt(i)
+			ref = append(ref[:i], ref[i+1:]...)
+		default: // in-place mutate via At
+			i := rng.Intn(d.Len())
+			d.At(i).Key++
+			ref[i]++
+		}
+		if d.Len() != len(ref) {
+			t.Fatalf("step %d: Len = %d, ref %d", step, d.Len(), len(ref))
+		}
+		for i, want := range ref {
+			if got := d.At(i).Key; got != want {
+				t.Fatalf("step %d: At(%d) = %d, want %d (deque %v)", step, i, got, want, dequeKeys(&d))
+			}
+		}
+	}
+}
+
+// TestRequeueWBOrdering covers the satellite requirement end to end on
+// the real cache: a retried entry re-arbitrates before younger write
+// backs, and interleaves correctly with cancellation.
+func TestRequeueWBOrdering(t *testing.T) {
+	c, _ := newL2(t, config.Baseline)
+	for _, key := range []uint64{10, 20, 30} {
+		if got := c.ProcessVictim(key, coherence.Modified, false, false); got != VictimQueued {
+			t.Fatalf("ProcessVictim(%d) = %v, want VictimQueued", key, got)
+		}
+	}
+	// Head issues, then retries: it must come back ahead of 20 and 30.
+	e, ok := c.HeadWB()
+	if !ok || e.Key != 10 {
+		t.Fatalf("HeadWB = %+v/%v, want key 10", e, ok)
+	}
+	entry, cancelled := c.CompleteWB(10)
+	if cancelled {
+		t.Fatal("CompleteWB(10) reported cancelled")
+	}
+	c.RequeueWB(entry)
+	if got := c.WBQueueLen(); got != 3 {
+		t.Fatalf("WBQueueLen after requeue = %d, want 3", got)
+	}
+	order := []uint64{10, 20, 30}
+	for _, want := range order {
+		e, ok := c.HeadWB()
+		if !ok || e.Key != want {
+			t.Fatalf("HeadWB = %+v/%v, want key %d", e, ok, want)
+		}
+		if _, cancelled := c.CompleteWB(want); cancelled {
+			t.Fatalf("CompleteWB(%d) reported cancelled", want)
+		}
+	}
+	if c.WBQueueLen() != 0 {
+		t.Fatalf("queue not drained: %d entries left", c.WBQueueLen())
+	}
+}

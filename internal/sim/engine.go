@@ -5,10 +5,17 @@
 // Time is measured in integer core cycles. Events scheduled for the same
 // cycle fire in FIFO order of scheduling, which keeps simulations
 // deterministic for a fixed input.
+//
+// The engine's hot path is allocation-free in steady state: the pending
+// set is an inlined 4-ary min-heap specialized to the event record (no
+// container/heap interface boxing), and the (Handler, EventData) event
+// form lets components schedule work through handlers bound once at
+// construction instead of allocating a closure per event. The classic
+// closure form (Schedule/At with a func()) remains available for cold
+// paths and tests.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -22,40 +29,52 @@ const Forever Time = math.MaxInt64
 // Event is a callback scheduled to run at a particular cycle.
 type Event func()
 
+// Handler is an event callback that receives the EventData it was
+// scheduled with. Components bind their handlers once (typically as
+// struct fields at construction) and pass per-event state through
+// EventData, so scheduling allocates nothing.
+type Handler func(d EventData)
+
+// EventData is the payload carried by a scheduled event. The fields are
+// generic slots — a component pointer, a cache-line key, an auxiliary
+// integer, a discriminator and a flag — that cover every scheduling site
+// in the simulator without per-event heap state. Ptr holds pointer-shaped
+// values (pointers, funcs, maps); storing those in an interface does not
+// allocate.
+type EventData struct {
+	Ptr  any
+	Key  uint64
+	Aux  int64
+	Kind int8
+	Flag bool
+}
+
+// scheduledEvent is one pending queue entry. Events are stored by value
+// in the heap; nothing is boxed.
 type scheduledEvent struct {
 	at  Time
 	seq uint64 // tie-breaker: FIFO among same-cycle events
-	fn  Event
+	h   Handler
+	d   EventData
 }
 
-type eventHeap []scheduledEvent
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before orders events by (time, scheduling sequence) — the total order
+// every queue implementation must reproduce exactly.
+func (a *scheduledEvent) before(b *scheduledEvent) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(scheduledEvent)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
-}
+// runClosure adapts the closure event form onto the handler form.
+func runClosure(d EventData) { d.Ptr.(Event)() }
 
 // Engine is a discrete-event simulator. The zero value is ready to use.
 type Engine struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
+	events  []scheduledEvent // 4-ary min-heap ordered by before()
 	stopped bool
 	fired   uint64
 }
@@ -69,6 +88,17 @@ func (e *Engine) Now() Time { return e.now }
 // Fired returns the number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
+// Grow pre-sizes the pending-event queue to hold at least n events
+// without reallocating, avoiding growth copies mid-run.
+func (e *Engine) Grow(n int) {
+	if n <= cap(e.events) {
+		return
+	}
+	grown := make([]scheduledEvent, len(e.events), n)
+	copy(grown, e.events)
+	e.events = grown
+}
+
 // Schedule runs fn after delay cycles. A negative delay panics: the past
 // is immutable.
 func (e *Engine) Schedule(delay Time, fn Event) {
@@ -80,13 +110,31 @@ func (e *Engine) Schedule(delay Time, fn Event) {
 
 // At runs fn at the absolute cycle t, which must not precede Now.
 func (e *Engine) At(t Time, fn Event) {
-	if t < e.now {
-		panic(fmt.Sprintf("sim: At(%d) before now (%d)", t, e.now))
-	}
 	if fn == nil {
 		panic("sim: nil event")
 	}
-	heap.Push(&e.events, scheduledEvent{at: t, seq: e.seq, fn: fn})
+	e.AtCall(t, runClosure, EventData{Ptr: fn})
+}
+
+// ScheduleCall runs h with d after delay cycles. A negative delay
+// panics: the past is immutable.
+func (e *Engine) ScheduleCall(delay Time, h Handler, d EventData) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: scheduling %d cycles in the past", -delay))
+	}
+	e.AtCall(e.now+delay, h, d)
+}
+
+// AtCall runs h with d at the absolute cycle t, which must not precede
+// Now. This is the allocation-free scheduling primitive.
+func (e *Engine) AtCall(t Time, h Handler, d EventData) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: At(%d) before now (%d)", t, e.now))
+	}
+	if h == nil {
+		panic("sim: nil event handler")
+	}
+	e.push(scheduledEvent{at: t, seq: e.seq, h: h, d: d})
 	e.seq++
 }
 
@@ -102,10 +150,10 @@ func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(scheduledEvent)
+	ev := e.pop()
 	e.now = ev.at
 	e.fired++
-	ev.fn()
+	ev.h(ev.d)
 	return true
 }
 
@@ -130,4 +178,66 @@ func (e *Engine) RunUntil(deadline Time) Time {
 		panic("sim: time ran past deadline") // unreachable: guarded above
 	}
 	return e.now
+}
+
+// --- 4-ary min-heap, specialized to scheduledEvent ---
+//
+// A 4-ary heap halves tree depth versus the binary container/heap,
+// trading a wider (cache-line-friendly) child scan per level for fewer
+// levels, and its monomorphic sift routines avoid the Less/Swap/Pop
+// interface dispatch and the per-Pop any boxing of container/heap.
+
+// push appends ev and restores the heap invariant by sifting up.
+func (e *Engine) push(ev scheduledEvent) {
+	h := append(e.events, ev)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !ev.before(&h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = ev
+	e.events = h
+}
+
+// pop removes and returns the minimum event.
+func (e *Engine) pop() scheduledEvent {
+	h := e.events
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = scheduledEvent{} // release the Ptr reference for GC
+	h = h[:n]
+	e.events = h
+	if n == 0 {
+		return top
+	}
+	// Sift last down from the root.
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		m := c
+		for j := c + 1; j < end; j++ {
+			if h[j].before(&h[m]) {
+				m = j
+			}
+		}
+		if !h[m].before(&last) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = last
+	return top
 }

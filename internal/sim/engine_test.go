@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"container/heap"
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -172,5 +174,221 @@ func TestEngineStepReturnsFalseWhenEmpty(t *testing.T) {
 	e := NewEngine()
 	if e.Step() {
 		t.Fatal("Step on empty engine returned true")
+	}
+}
+
+func TestEngineHandlerForm(t *testing.T) {
+	e := NewEngine()
+	var got []EventData
+	h := func(d EventData) { got = append(got, d) }
+	e.ScheduleCall(4, h, EventData{Key: 2})
+	e.AtCall(1, h, EventData{Key: 1, Kind: 7, Flag: true, Aux: -3})
+	e.Run()
+	if len(got) != 2 || got[0].Key != 1 || got[1].Key != 2 {
+		t.Fatalf("handler events = %+v, want Key order [1 2]", got)
+	}
+	if d := got[0]; d.Kind != 7 || !d.Flag || d.Aux != -3 {
+		t.Fatalf("EventData payload not preserved: %+v", d)
+	}
+	if e.Fired() != 2 {
+		t.Fatalf("Fired = %d, want 2", e.Fired())
+	}
+}
+
+func TestEngineNilHandlerPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil handler did not panic")
+		}
+	}()
+	e.AtCall(1, nil, EventData{})
+}
+
+func TestEngineGrow(t *testing.T) {
+	e := NewEngine()
+	var sum int64
+	h := func(d EventData) { sum += d.Aux }
+	e.ScheduleCall(3, h, EventData{Aux: 1})
+	e.Grow(4096)
+	e.ScheduleCall(1, h, EventData{Aux: 2})
+	for i := 0; i < 100; i++ {
+		e.ScheduleCall(Time(i%10), h, EventData{Aux: 10})
+	}
+	e.Run()
+	if sum != 1003 {
+		t.Fatalf("sum = %d, want 1003 (Grow lost or duplicated events)", sum)
+	}
+}
+
+// --- Reference queue: the exact pre-rewrite container/heap semantics ---
+//
+// refEvent/refQueue reimplement the old engine's event queue verbatim —
+// container/heap over an (at, seq)-ordered slice — as the ordering
+// oracle the specialized 4-ary heap must match event for event.
+
+type refEvent struct {
+	at  Time
+	seq uint64
+	id  int
+}
+
+type refQueue []refEvent
+
+func (h refQueue) Len() int { return len(h) }
+func (h refQueue) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refQueue) Swap(i, j int)     { h[i], h[j] = h[j], h[i] }
+func (h *refQueue) Push(x any)       { *h = append(*h, x.(refEvent)) }
+func (h *refQueue) Pop() any         { old := *h; n := len(old); ev := old[n-1]; *h = old[:n-1]; return ev }
+func (h *refQueue) popMin() refEvent { return heap.Pop(h).(refEvent) }
+func (h *refQueue) add(ev refEvent)  { heap.Push(h, ev) }
+
+// TestEngineMatchesReferenceQueue drives the engine and the reference
+// queue with identical randomized schedules — including events that
+// schedule further events — and asserts the firing order, firing times,
+// Fired() count and final Now() are identical. This is the bit-exact
+// determinism contract every experiment golden rests on: same-cycle
+// events fire in FIFO scheduling order.
+func TestEngineMatchesReferenceQueue(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		ref := refQueue{}
+		var refSeq uint64
+		nextID := 0
+
+		var engineOrder, refOrder []int
+		var engineTimes []Time
+
+		// Some events reschedule children; the child plan is derived
+		// deterministically from the parent id so both sides agree.
+		children := func(id int) []Time {
+			if id%3 != 0 {
+				return nil
+			}
+			return []Time{Time(id % 7), Time(id % 11)}
+		}
+		var h Handler
+		h = func(d EventData) {
+			id := int(d.Key)
+			engineOrder = append(engineOrder, id)
+			engineTimes = append(engineTimes, e.Now())
+			for _, delay := range children(id) {
+				e.ScheduleCall(delay, h, EventData{Key: uint64(nextID)})
+				ref.add(refEvent{at: e.Now() + delay, seq: refSeq, id: nextID})
+				refSeq++
+				nextID++
+			}
+		}
+
+		for i := 0; i < 200; i++ {
+			delay := Time(rng.Intn(50))
+			e.ScheduleCall(delay, h, EventData{Key: uint64(nextID)})
+			ref.add(refEvent{at: delay, seq: refSeq, id: nextID})
+			refSeq++
+			nextID++
+		}
+		e.Run()
+
+		// Drain the reference queue in its (container/heap) order. The
+		// reference's firing times also must match the engine's.
+		for i := 0; ref.Len() > 0; i++ {
+			ev := ref.popMin()
+			refOrder = append(refOrder, ev.id)
+			if i < len(engineTimes) && engineTimes[i] != ev.at {
+				t.Fatalf("seed %d: event %d fired at %d, reference says %d",
+					seed, i, engineTimes[i], ev.at)
+			}
+		}
+		if len(engineOrder) != len(refOrder) {
+			t.Fatalf("seed %d: engine fired %d events, reference %d",
+				seed, len(engineOrder), len(refOrder))
+		}
+		for i := range refOrder {
+			if engineOrder[i] != refOrder[i] {
+				t.Fatalf("seed %d: firing order diverges at event %d: engine %d, reference %d",
+					seed, i, engineOrder[i], refOrder[i])
+			}
+		}
+		if e.Fired() != uint64(len(refOrder)) {
+			t.Fatalf("seed %d: Fired = %d, want %d", seed, e.Fired(), len(refOrder))
+		}
+	}
+}
+
+// TestEngineSameCycleFIFOProperty: for any batch sizes, events scheduled
+// for one cycle from multiple scheduling rounds fire strictly in
+// scheduling order.
+func TestEngineSameCycleFIFOProperty(t *testing.T) {
+	f := func(batches []uint8) bool {
+		e := NewEngine()
+		var order []int
+		h := func(d EventData) { order = append(order, int(d.Key)) }
+		id := 0
+		for _, b := range batches {
+			for j := 0; j < int(b%8); j++ {
+				e.ScheduleCall(3, h, EventData{Key: uint64(id)})
+				id++
+			}
+		}
+		e.Run()
+		for i, v := range order {
+			if v != i {
+				return false
+			}
+		}
+		return len(order) == id
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineScheduleStepAllocationFree is the hot-path contract: once
+// the queue slice has its capacity, ScheduleCall+Step cycles allocate
+// nothing — no interface boxing, no closure, no growth.
+func TestEngineScheduleStepAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed under the race detector")
+	}
+	e := NewEngine()
+	e.Grow(64)
+	var sink uint64
+	h := func(d EventData) { sink += d.Key }
+	arg := &sink // a live pointer payload, as real handlers carry
+	avg := testing.AllocsPerRun(1000, func() {
+		e.ScheduleCall(1, h, EventData{Ptr: arg, Key: 1})
+		e.ScheduleCall(2, h, EventData{Ptr: arg, Key: 2})
+		e.Step()
+		e.Step()
+	})
+	if avg != 0 {
+		t.Fatalf("ScheduleCall+Step allocates %.1f objects per cycle, want 0", avg)
+	}
+}
+
+// TestEngineDeepQueueAllocationFree exercises the same contract with a
+// standing population of pending events, so both sift directions run.
+func TestEngineDeepQueueAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed under the race detector")
+	}
+	e := NewEngine()
+	e.Grow(4096)
+	h := func(d EventData) {}
+	for i := 0; i < 1000; i++ {
+		e.ScheduleCall(Time(1+i%97), h, EventData{Key: uint64(i)})
+	}
+	avg := testing.AllocsPerRun(500, func() {
+		e.ScheduleCall(Time(1+e.Now()%89), h, EventData{})
+		e.Step()
+	})
+	if avg != 0 {
+		t.Fatalf("deep-queue ScheduleCall+Step allocates %.1f objects per cycle, want 0", avg)
 	}
 }

@@ -1,0 +1,56 @@
+package sim
+
+// Pool is a LIFO free list of reusable objects, the companion to the
+// engine's (Handler, EventData) scheduling form: per-event or
+// per-transaction state lives in pooled nodes, so the steady-state hot
+// path allocates nothing. Get returns a recycled object when one is
+// available and otherwise invokes the constructor; Put recycles.
+//
+// Objects come back from Get exactly as Put left them — the Pool never
+// zeroes. Callers reset the fields they use, which also lets them keep
+// expensive once-per-node state (pre-bound callbacks, slice capacity)
+// alive across reuses. Pools are not safe for concurrent use; each
+// simulated system owns its own.
+type Pool[T any] struct {
+	newFn func() *T
+	free  []*T
+}
+
+// NewPool returns an empty pool whose Get falls back to newFn.
+func NewPool[T any](newFn func() *T) *Pool[T] {
+	if newFn == nil {
+		panic("sim: NewPool with nil constructor")
+	}
+	return &Pool[T]{newFn: newFn}
+}
+
+// Get returns a recycled object, or a newly constructed one when the
+// free list is empty.
+func (p *Pool[T]) Get() *T {
+	if n := len(p.free) - 1; n >= 0 {
+		x := p.free[n]
+		p.free[n] = nil
+		p.free = p.free[:n]
+		return x
+	}
+	return p.newFn()
+}
+
+// Put returns x to the free list for reuse.
+func (p *Pool[T]) Put(x *T) { p.free = append(p.free, x) }
+
+// Prime grows the free list to at least n constructed objects, so a
+// run's warm-up does not allocate pool nodes mid-simulation.
+func (p *Pool[T]) Prime(n int) {
+	if n > cap(p.free) {
+		grown := make([]*T, len(p.free), n)
+		copy(grown, p.free)
+		p.free = grown
+	}
+	for len(p.free) < n {
+		p.free = append(p.free, p.newFn())
+	}
+}
+
+// FreeLen reports the current free-list length (tests, diagnostics).
+func (p *Pool[T]) FreeLen() int { return len(p.free) }

@@ -1,0 +1,73 @@
+package sim
+
+import "testing"
+
+type poolNode struct {
+	id    int
+	ready bool
+}
+
+func TestPoolGetPutReuse(t *testing.T) {
+	built := 0
+	p := NewPool(func() *poolNode { built++; return &poolNode{id: built} })
+	a := p.Get()
+	if built != 1 || a.id != 1 {
+		t.Fatalf("first Get: built=%d id=%d, want 1/1", built, a.id)
+	}
+	a.ready = true
+	p.Put(a)
+	b := p.Get()
+	if b != a {
+		t.Fatal("Get did not recycle the Put node")
+	}
+	if !b.ready {
+		t.Fatal("Pool zeroed the recycled node; callers own field resets")
+	}
+	if built != 1 {
+		t.Fatalf("constructor ran %d times, want 1", built)
+	}
+}
+
+func TestPoolPrime(t *testing.T) {
+	built := 0
+	p := NewPool(func() *poolNode { built++; return &poolNode{} })
+	p.Prime(8)
+	if built != 8 || p.FreeLen() != 8 {
+		t.Fatalf("Prime(8): built=%d free=%d, want 8/8", built, p.FreeLen())
+	}
+	p.Prime(4) // never shrinks
+	if p.FreeLen() != 8 {
+		t.Fatalf("Prime(4) shrank the free list to %d", p.FreeLen())
+	}
+	for i := 0; i < 8; i++ {
+		p.Get()
+	}
+	if built != 8 {
+		t.Fatalf("Get after Prime constructed %d extra nodes", built-8)
+	}
+}
+
+func TestPoolNilConstructorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPool(nil) did not panic")
+		}
+	}()
+	NewPool[poolNode](nil)
+}
+
+func TestPoolSteadyStateAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed under the race detector")
+	}
+	p := NewPool(func() *poolNode { return &poolNode{} })
+	p.Prime(4)
+	avg := testing.AllocsPerRun(1000, func() {
+		a, b := p.Get(), p.Get()
+		p.Put(a)
+		p.Put(b)
+	})
+	if avg != 0 {
+		t.Fatalf("primed Get/Put allocates %.1f objects per cycle, want 0", avg)
+	}
+}

@@ -5,38 +5,69 @@ import (
 
 	"cmpcache/internal/coherence"
 	"cmpcache/internal/config"
+	"cmpcache/internal/sim"
 	"cmpcache/internal/trace"
 )
+
+// pendingAccess carries one thread reference through the L2 front end:
+// issue, probe (including structural-stall retries) and completion.
+// Nodes are pooled on the System; completeFn is bound once per node, so
+// in steady state an access consumes no allocations from issue to the
+// latency observation at completion.
+type pendingAccess struct {
+	cache   l2Handle
+	key     uint64
+	issued  config.Cycles
+	done    func(config.Cycles) // thread completion (cpu doneFn)
+	isStore bool
+	count   bool // false on re-attempts after a structural stall
+
+	// completeFn is this node's completion callback: it observes the
+	// fill latency, releases the node and calls done. It is what gets
+	// attached to MSHRs, so coalescing waiters allocates nothing.
+	completeFn func(config.Cycles)
+}
 
 // access is the cpu.IssueFunc: one thread reference enters the
 // hierarchy. The request crosses the core interface unit, reserves an
 // L2 slice port and resolves against the tag array; hits complete at
 // the Table 3 L2 latency, everything else becomes a bus transaction.
 func (s *System) access(tid int, op trace.Op, key uint64, done func(config.Cycles)) {
-	isStore := op == trace.Store
-	cache := s.l2For(tid)
-	issued := s.engine.Now()
-	inner := done
-	done = func(at config.Cycles) {
-		s.fillLatency.Observe(uint64(at - issued))
-		inner(at)
-	}
+	p := s.accessPool.Get()
+	p.cache = s.l2For(tid)
+	p.key = key
+	p.issued = s.engine.Now()
+	p.done = done
+	p.isStore = op == trace.Store
+	p.count = true
 	// The port is booked for the cycle the request reaches the slice
 	// (issue + CoreToL2); booking it from the issue event keeps
 	// reservations time-ordered while avoiding an intermediate event.
-	start := cache.ReservePort(key, s.engine.Now()+s.cfg.CoreToL2)
-	s.engine.At(start+s.cfg.L2Access, func() {
-		s.resolve(cache, key, isStore, done, true)
-	})
+	start := p.cache.ReservePort(key, s.engine.Now()+s.cfg.CoreToL2)
+	s.engine.AtCall(start+s.cfg.L2Access, s.hResolve, sim.EventData{Ptr: p})
 }
 
-// resolve classifies the probe outcome and dispatches. count is false on
-// re-attempts after a structural stall so statistics stay truthful.
-func (s *System) resolve(cache l2Handle, key uint64, isStore bool, done func(config.Cycles), count bool) {
+// finishAccess completes a pending access: the issue-to-completion
+// latency is recorded, the node returns to the pool and the thread's
+// completion callback runs (which may synchronously issue new work that
+// reuses the node).
+func (s *System) finishAccess(p *pendingAccess, at config.Cycles) {
+	s.fillLatency.Observe(uint64(at - p.issued))
+	done := p.done
+	p.done = nil
+	p.cache = nil
+	s.accessPool.Put(p)
+	done(at)
+}
+
+// resolve classifies the probe outcome and dispatches. p.count is false
+// on re-attempts after a structural stall so statistics stay truthful.
+func (s *System) resolve(p *pendingAccess) {
 	now := s.engine.Now()
-	switch cache.Probe(key, isStore, count) {
+	cache, key, isStore := p.cache, p.key, p.isStore
+	switch cache.Probe(key, isStore, p.count) {
 	case probeHit:
-		done(now)
+		s.finishAccess(p, now)
 
 	case probeWBBufferHit:
 		// The line was caught in the write-back queue before leaving the
@@ -45,7 +76,8 @@ func (s *System) resolve(cache l2Handle, key uint64, isStore bool, done func(con
 		if !ok {
 			// The in-flight write back combined in this same cycle;
 			// treat as a plain miss on re-resolution.
-			s.resolve(cache, key, isStore, done, false)
+			p.count = false
+			s.resolve(p)
 			return
 		}
 		vKey, vState, evicted := cache.Reinstall(e)
@@ -55,22 +87,23 @@ func (s *System) resolve(cache l2Handle, key uint64, isStore bool, done func(con
 		if isStore && e.State != coherence.Modified {
 			// Stores to a reinstalled clean/shared line still need
 			// ownership.
-			s.resolve(cache, key, isStore, done, false)
+			p.count = false
+			s.resolve(p)
 			return
 		}
-		done(now)
+		s.finishAccess(p, now)
 
 	case probeHitNeedsUpgrade:
-		if cache.AttachMSHR(key, true, done) {
+		if cache.AttachMSHR(key, true, p.completeFn) {
 			cache.CountMSHRAttach()
 			return // an upgrade or fill in flight will complete us
 		}
 		cache.AllocMSHR(key, coherence.Upgrade)
-		cache.AttachMSHR(key, true, done)
+		cache.AttachMSHR(key, true, p.completeFn)
 		s.startDemand(cache, key, coherence.Upgrade)
 
 	case probeMiss:
-		if cache.AttachMSHR(key, isStore, done) {
+		if cache.AttachMSHR(key, isStore, p.completeFn) {
 			cache.CountMSHRAttach()
 			return
 		}
@@ -78,9 +111,8 @@ func (s *System) resolve(cache l2Handle, key uint64, isStore bool, done func(con
 			// Structural stall: the miss blocks until a slot opens
 			// ("misses to the L2 cache will be blocked and will have to
 			// wait for an open slot").
-			s.engine.Schedule(s.cfg.RetryBackoff, func() {
-				s.resolve(cache, key, isStore, done, false)
-			})
+			p.count = false
+			s.engine.ScheduleCall(s.cfg.RetryBackoff, s.hResolve, sim.EventData{Ptr: p})
 			return
 		}
 		kind := coherence.Read
@@ -89,7 +121,7 @@ func (s *System) resolve(cache l2Handle, key uint64, isStore bool, done func(con
 		}
 		cache.CountMiss()
 		cache.AllocMSHR(key, kind)
-		cache.AttachMSHR(key, isStore, done)
+		cache.AttachMSHR(key, isStore, p.completeFn)
 		s.startDemand(cache, key, kind)
 	}
 }
@@ -100,7 +132,8 @@ func (s *System) startDemand(cache l2Handle, key uint64, kind coherence.TxnKind)
 	s.demandTxns++
 	slot := s.ring.ReserveAddress(s.engine.Now())
 	combineAt := slot + s.cfg.AddressPhase
-	s.engine.At(combineAt, func() { s.combineDemand(cache, key, kind) })
+	s.engine.AtCall(combineAt, s.hCombineDemand,
+		sim.EventData{Ptr: cache, Key: key, Kind: int8(kind)})
 }
 
 // combineDemand is the transaction's atomic snoop-and-commit point: all
@@ -123,7 +156,7 @@ func (s *System) combineDemand(cache l2Handle, key uint64, kind coherence.TxnKin
 	}
 	s.reuse.recordDemandMiss(key)
 
-	responses := make([]coherence.AgentResponse, 0, len(s.l2s)+2)
+	responses := s.responses[:0]
 	for _, peer := range s.l2s {
 		if peer.ID() == cache.ID() {
 			continue
@@ -234,12 +267,15 @@ func (s *System) commitFill(cache l2Handle, key uint64, kind coherence.TxnKind, 
 		panic("system: demand combine without a data source")
 	}
 
-	s.engine.At(readyAt, func() {
-		dStart := s.ring.ReserveData(s.engine.Now())
-		s.engine.At(dStart+s.cfg.DataRingOccupancy, func() {
-			s.completeFill(cache, key, kind)
-		})
-	})
+	s.engine.AtCall(readyAt, s.hFillReady,
+		sim.EventData{Ptr: cache, Key: key, Kind: int8(kind)})
+}
+
+// fillDataReady books the data ring for the arrived source line and
+// schedules delivery (hFillReady).
+func (s *System) fillDataReady(d sim.EventData) {
+	dStart := s.ring.ReserveData(s.engine.Now())
+	s.engine.AtCall(dStart+s.cfg.DataRingOccupancy, s.hCompleteFill, d)
 }
 
 // completeFill delivers the arrived data to the coalesced waiters and

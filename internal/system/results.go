@@ -114,6 +114,11 @@ type Results struct {
 
 	UpgradeRestarts uint64
 	SnarfFallbacks  uint64
+
+	// EventsFired counts discrete events executed by the engine during
+	// the run — the denominator for the events/sec throughput metric
+	// tracked in BENCH_core.json.
+	EventsFired uint64
 }
 
 // results gathers all component statistics after a run.
@@ -168,6 +173,8 @@ func (s *System) results() *Results {
 
 		UpgradeRestarts: s.upgradeRestarts,
 		SnarfFallbacks:  s.snarfFallbacks,
+
+		EventsFired: s.engine.Fired(),
 	}
 	r.CleanWBFirstTime, r.CleanWBLostL3 = s.cleanWBFirst, s.cleanWBLost
 	r.L3QueueAcquired, r.L3QueueRejected, r.L3QueuePeak = s.l3.QueueStats()

@@ -47,6 +47,27 @@ type System struct {
 
 	reuse *reuseTracker
 
+	// accessPool recycles pendingAccess nodes; each node's completeFn is
+	// bound once by the pool constructor, so the demand path's per-access
+	// bookkeeping allocates nothing in steady state.
+	accessPool *sim.Pool[pendingAccess]
+
+	// responses is the reused snoop-response buffer for combine events
+	// (the collector never retains it).
+	responses []coherence.AgentResponse
+
+	// Event handlers, bound once in New so scheduling a transaction
+	// phase never allocates a closure.
+	hResolve        sim.Handler
+	hCombineDemand  sim.Handler
+	hFillReady      sim.Handler
+	hCompleteFill   sim.Handler
+	hCombineWB      sim.Handler
+	hFinishWB       sim.Handler
+	hWBArriveL3     sim.Handler
+	hRetireL3Write  sim.Handler
+	hReleaseL3Token sim.Handler
+
 	// fillLatency accumulates demand-miss service times (issue-to-data),
 	// the distribution behind the execution-time differences the paper
 	// reports.
@@ -107,6 +128,28 @@ func New(cfg config.Config, tr *trace.Trace) (*System, error) {
 		s.l2s = append(s.l2s, l2.New(i, &s.cfg))
 	}
 	s.wbInFlight = make([]bool, cfg.NumL2())
+	s.responses = make([]coherence.AgentResponse, 0, cfg.NumL2()+2)
+
+	s.accessPool = sim.NewPool(func() *pendingAccess {
+		p := &pendingAccess{}
+		p.completeFn = func(at config.Cycles) { s.finishAccess(p, at) }
+		return p
+	})
+	s.hResolve = func(d sim.EventData) { s.resolve(d.Ptr.(*pendingAccess)) }
+	s.hCombineDemand = func(d sim.EventData) {
+		s.combineDemand(d.Ptr.(l2Handle), d.Key, coherence.TxnKind(d.Kind))
+	}
+	s.hFillReady = s.fillDataReady
+	s.hCompleteFill = func(d sim.EventData) {
+		s.completeFill(d.Ptr.(l2Handle), d.Key, coherence.TxnKind(d.Kind))
+	}
+	s.hCombineWB = func(d sim.EventData) {
+		s.combineWB(d.Ptr.(l2Handle), d.Key, coherence.TxnKind(d.Kind), d.Flag)
+	}
+	s.hFinishWB = func(d sim.EventData) { s.finishWB(int(d.Key)) }
+	s.hWBArriveL3 = s.wbArriveL3
+	s.hRetireL3Write = func(d sim.EventData) { s.retireL3Write(d.Key, coherence.TxnKind(d.Kind)) }
+	s.hReleaseL3Token = func(sim.EventData) { s.l3.ReleaseToken() }
 
 	streams := tr.PerThread()
 	// Pad to the chip's thread count so thread->L2 mapping stays fixed.
@@ -114,6 +157,21 @@ func New(cfg config.Config, tr *trace.Trace) (*System, error) {
 		streams = append(streams, nil)
 	}
 	s.threads = cpu.New(s.engine, &s.cfg, streams, s.access)
+
+	// Pre-size the event queue and access pool from the workload: the
+	// queue's high-water mark tracks in-flight accesses (each spans a
+	// handful of scheduled phases), bounded by what the trace can ever
+	// put in flight at once.
+	events := cfg.Threads()*cfg.MaxOutstanding*8 + 64
+	if limit := 2*len(tr.Records) + 64; events > limit {
+		events = limit
+	}
+	s.engine.Grow(events)
+	inflight := cfg.Threads() * cfg.MaxOutstanding
+	if inflight > len(tr.Records) {
+		inflight = len(tr.Records)
+	}
+	s.accessPool.Prime(inflight)
 	return s, nil
 }
 

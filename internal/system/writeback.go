@@ -6,6 +6,7 @@ import (
 	"cmpcache/internal/coherence"
 	"cmpcache/internal/config"
 	"cmpcache/internal/l2"
+	"cmpcache/internal/sim"
 )
 
 // Local aliases keep the transaction-flow code readable.
@@ -40,11 +41,12 @@ func (s *System) pumpWB(l2idx int) {
 	}
 	s.wbInFlight[l2idx] = true
 	s.wbTxns++
-	key, kind, snarfable := entry.Key, entry.Kind, entry.Snarfable
 
 	slot := s.ring.ReserveAddress(s.engine.Now())
 	combineAt := slot + s.cfg.AddressPhase
-	s.engine.At(combineAt, func() { s.combineWB(cache, key, kind, snarfable) })
+	s.engine.AtCall(combineAt, s.hCombineWB, sim.EventData{
+		Ptr: cache, Key: entry.Key, Kind: int8(entry.Kind), Flag: entry.Snarfable,
+	})
 }
 
 // combineWB is the write back's atomic snoop-and-commit point.
@@ -70,7 +72,7 @@ func (s *System) combineWB(cache l2Handle, key uint64, kind coherence.TxnKind, s
 			s.cleanWBFirst++
 		}
 	}
-	responses := []coherence.AgentResponse{{Agent: agentL3, Resp: l3resp}}
+	responses := append(s.responses[:0], coherence.AgentResponse{Agent: agentL3, Resp: l3resp})
 	var peerSquasher l2Handle
 	if s.snarfing() {
 		for _, peer := range s.l2s {
@@ -92,13 +94,10 @@ func (s *System) combineWB(cache l2Handle, key uint64, kind coherence.TxnKind, s
 	if s.debug != nil {
 		s.debug("wb", key, kind, fmt.Sprintf("l3resp=%v retry=%v squash=%v toL3=%v", l3resp, out.Retry, out.WBSquashed, out.WBToL3))
 	}
+	// l3Accepted tracks whether the L3's incoming-queue token is still
+	// held and must be released before this transaction retires (unless
+	// sendToL3 takes over the obligation).
 	l3Accepted := l3resp == coherence.RespWBAccept
-	releaseL3 := func() {
-		if l3Accepted {
-			s.l3.ReleaseToken()
-			l3Accepted = false
-		}
-	}
 
 	// The WBHT learns from the L3's snoop response to clean write backs
 	// (Section 2, step 3) — on the writing L2's table, or on every
@@ -121,18 +120,16 @@ func (s *System) combineWB(cache l2Handle, key uint64, kind coherence.TxnKind, s
 	}
 
 	entry, cancelled := cache.CompleteWB(key)
-	finish := func() {
-		s.wbInFlight[cache.ID()] = false
-		s.pumpWB(cache.ID())
-	}
 
 	switch {
 	case cancelled:
 		// A demand access reclaimed the line while this transaction was
 		// on the bus: ignore the outcome entirely.
 		s.wbCancelled++
-		releaseL3()
-		finish()
+		if l3Accepted {
+			s.l3.ReleaseToken()
+		}
+		s.finishWB(cache.ID())
 
 	case out.Retry:
 		// The L3 had no queue space and nobody else took the line: the
@@ -141,7 +138,8 @@ func (s *System) combineWB(cache l2Handle, key uint64, kind coherence.TxnKind, s
 		s.wbRetried++
 		s.rswitch.RecordRetry(now)
 		cache.RequeueWB(entry)
-		s.engine.Schedule(s.cfg.RetryBackoff, finish)
+		s.engine.ScheduleCall(s.cfg.RetryBackoff, s.hFinishWB,
+			sim.EventData{Key: uint64(cache.ID())})
 
 	case out.WBSquashed:
 		if out.SquashedByL3 {
@@ -155,14 +153,18 @@ func (s *System) combineWB(cache l2Handle, key uint64, kind coherence.TxnKind, s
 				peerSquasher.TakeWBObligation(key)
 			}
 		}
-		releaseL3()
-		finish()
+		if l3Accepted {
+			s.l3.ReleaseToken()
+		}
+		s.finishWB(cache.ID())
 
 	case out.WBSnarfed:
 		winner := s.l2s[out.SnarfWinner]
 		if winner.AcceptSnarf(entry) {
 			s.wbSnarfed++
-			releaseL3()
+			if l3Accepted {
+				s.l3.ReleaseToken()
+			}
 			// The line moves L2-to-L2 across the data ring.
 			s.ring.ReserveData(now)
 		} else if l3Accepted {
@@ -171,22 +173,27 @@ func (s *System) combineWB(cache l2Handle, key uint64, kind coherence.TxnKind, s
 			s.snarfFallbacks++
 			s.reuse.recordAccepted(key)
 			s.sendToL3(key, kind, now)
-			l3Accepted = false
 		} else {
 			s.snarfFallbacks++
 		}
-		finish()
+		s.finishWB(cache.ID())
 
 	case out.WBToL3:
 		s.wbToL3++
 		s.reuse.recordAccepted(key)
-		s.sendToL3(key, kind, now)
-		l3Accepted = false // token released by sendToL3's completion
-		finish()
+		s.sendToL3(key, kind, now) // token released by sendToL3's completion
+		s.finishWB(cache.ID())
 
 	default:
 		panic("system: write-back combine with no disposition")
 	}
+}
+
+// finishWB retires l2idx's in-flight write-back transaction and pumps
+// the next queued entry.
+func (s *System) finishWB(l2idx int) {
+	s.wbInFlight[l2idx] = false
+	s.pumpWB(l2idx)
 }
 
 // sendToL3 moves an accepted write back across the data ring into the
@@ -197,10 +204,14 @@ func (s *System) combineWB(cache l2Handle, key uint64, kind coherence.TxnKind, s
 func (s *System) sendToL3(key uint64, kind coherence.TxnKind, now config.Cycles) {
 	dStart := s.ring.ReserveData(now)
 	arrive := dStart + s.cfg.DataRingOccupancy
-	s.engine.At(arrive, func() {
-		wStart := s.l3.ReserveSlice(key, s.engine.Now())
-		s.engine.At(wStart+s.cfg.L3SliceOccupancy, func() { s.retireL3Write(key, kind) })
-	})
+	s.engine.AtCall(arrive, s.hWBArriveL3, sim.EventData{Key: key, Kind: int8(kind)})
+}
+
+// wbArriveL3 books the L3 slice for an arrived write back and schedules
+// the array-write retirement (hWBArriveL3).
+func (s *System) wbArriveL3(d sim.EventData) {
+	wStart := s.l3.ReserveSlice(d.Key, s.engine.Now())
+	s.engine.AtCall(wStart+s.cfg.L3SliceOccupancy, s.hRetireL3Write, d)
 }
 
 // retireL3Write installs the line, drains any displaced dirty victim to
@@ -213,7 +224,7 @@ func (s *System) retireL3Write(key uint64, kind coherence.TxnKind) {
 		// backpressure is what turns an L3-thrashing workload (TP) into
 		// a retry storm.
 		memStart := s.mem.ReserveWrite(s.engine.Now())
-		s.engine.At(memStart, s.l3.ReleaseToken)
+		s.engine.AtCall(memStart, s.hReleaseL3Token, sim.EventData{})
 		return
 	}
 	s.l3.ReleaseToken()
