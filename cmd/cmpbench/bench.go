@@ -112,6 +112,64 @@ func runBenchJSON(path, label string) error {
 	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
+// runBenchCheck is the CI regression gate: it re-measures the raw
+// simulator throughput artifact (metrics and tracing disabled — the
+// zero-overhead configuration) and compares it against the run recorded
+// under label in path. It fails when the deterministic event count
+// drifts, when allocations exceed the recorded count (the observability
+// layer must be free when disabled), or when events/sec drops more than
+// 5% below the recorded baseline. Three measurements are taken and the
+// best of each metric kept, damping scheduler noise.
+func runBenchCheck(path, label string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var file benchFile
+	if err := json.Unmarshal(data, &file); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	var want artifactMeasurement
+	found := false
+	for i := range file.Runs {
+		if file.Runs[i].Label == label {
+			want, found = file.Runs[i].Artifacts["throughput"], true
+		}
+	}
+	if !found {
+		return fmt.Errorf("%s: no run labelled %q", path, label)
+	}
+
+	var events uint64
+	minAllocs, bestRate := ^uint64(0), 0.0
+	for i := 0; i < 3; i++ {
+		m, err := measureThroughput()
+		if err != nil {
+			return err
+		}
+		events = m.Events
+		if m.AllocsPerOp < minAllocs {
+			minAllocs = m.AllocsPerOp
+		}
+		if m.EventsPerSec > bestRate {
+			bestRate = m.EventsPerSec
+		}
+	}
+	fmt.Fprintf(os.Stderr, "bench-check: throughput %d events, %d allocs/op (recorded %d), %.0f events/s (recorded %.0f)\n",
+		events, minAllocs, want.AllocsPerOp, bestRate, want.EventsPerSec)
+
+	if events != want.Events {
+		return fmt.Errorf("bench-check: deterministic event count changed: measured %d, recorded %d (regenerate with -bench-json)", events, want.Events)
+	}
+	if minAllocs > want.AllocsPerOp {
+		return fmt.Errorf("bench-check: allocs/op regressed: measured %d, recorded %d", minAllocs, want.AllocsPerOp)
+	}
+	if bestRate < 0.95*want.EventsPerSec {
+		return fmt.Errorf("bench-check: events/sec regressed more than 5%%: measured %.0f, recorded %.0f", bestRate, want.EventsPerSec)
+	}
+	return nil
+}
+
 // measureArtifact runs one experiment end to end on a fresh Runner
 // (cold caches, as bench_test.go does) and reports wall time, the
 // process-wide allocation delta and engine-event throughput.

@@ -21,6 +21,7 @@ import (
 
 	"cmpcache"
 	"cmpcache/internal/config"
+	"cmpcache/internal/metrics"
 	"cmpcache/internal/trace"
 )
 
@@ -38,6 +39,9 @@ func main() {
 		configFile   = flag.String("config", "", "load a JSON configuration (see -dump-config) before applying flags")
 		dumpConfig   = flag.Bool("dump-config", false, "print the effective configuration as JSON and exit")
 		jsonOut      = flag.Bool("json", false, "print the full result set as JSON instead of the text report")
+		metricsOut   = flag.String("metrics-out", "", "write the per-interval metrics series as JSON to this file (- for stdout)")
+		metricsIval  = flag.Int64("metrics-interval", 0, "metrics sampling window in cycles (0 = 1M, the paper's retry window)")
+		traceOut     = flag.String("trace-out", "", "write a structured event trace to this file (.jsonl = JSON Lines, otherwise Chrome trace_event viewable in Perfetto)")
 		cpuprofile   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprofile   = flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
 	)
@@ -124,7 +128,38 @@ func main() {
 		fatalf("%v", err)
 	}
 
-	res, err := cmpcache.Run(cfg, tr)
+	var res *cmpcache.Results
+	if *metricsOut != "" || *traceOut != "" {
+		probe := cmpcache.NewMetricsProbe(cmpcache.MetricsConfig{
+			Interval: config.Cycles(*metricsIval),
+		})
+		var tw *metrics.TraceWriter
+		var tf *os.File
+		if *traceOut != "" {
+			tf, err = os.Create(*traceOut)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			tw = metrics.NewTraceWriter(tf, metrics.FormatForPath(*traceOut))
+			probe.SetTrace(tw)
+		}
+		res, err = cmpcache.RunWithProbe(cfg, tr, probe)
+		if tw != nil {
+			if cerr := tw.Close(); cerr != nil {
+				fatalf("trace-out: %v", cerr)
+			}
+			if cerr := tf.Close(); cerr != nil {
+				fatalf("trace-out: %v", cerr)
+			}
+		}
+		if err == nil && *metricsOut != "" {
+			if werr := writeSeries(*metricsOut, res.Metrics); werr != nil {
+				fatalf("metrics-out: %v", werr)
+			}
+		}
+	} else {
+		res, err = cmpcache.Run(cfg, tr)
+	}
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -139,6 +174,22 @@ func main() {
 	fmt.Printf("workload             %s (%d refs, %d threads)\n",
 		tr.Name, len(tr.Records), tr.Threads)
 	fmt.Print(res.Summary())
+}
+
+// writeSeries exports the interval series as indented JSON.
+func writeSeries(path string, series *metrics.Series) error {
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(series)
 }
 
 func loadTrace(path, workloadName string, refs int) (*cmpcache.Trace, error) {

@@ -16,15 +16,19 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"cmpcache/internal/config"
+	"cmpcache/internal/metrics"
 	"cmpcache/internal/stats"
 	"cmpcache/internal/sweep"
 )
@@ -40,6 +44,8 @@ func main() {
 		timeout     = flag.Duration("timeout", 0, "per-job wall-clock timeout (0 = none)")
 		jsonOut     = flag.String("json", "", "write full results as JSON to this file (- for stdout)")
 		csvOut      = flag.String("csv", "", "write result rows as CSV to this file (- for stdout)")
+		metricsOut  = flag.String("metrics-out", "", "write one per-interval metrics series JSON file per job into this directory")
+		metricsIval = flag.Int64("metrics-interval", 0, "metrics sampling window in cycles (0 = 1M, the paper's retry window)")
 		quiet       = flag.Bool("q", false, "suppress the progress lines on stderr")
 		cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 		memprofile  = flag.String("memprofile", "", "write a pprof heap profile (after the sweep) to this file")
@@ -93,6 +99,15 @@ func main() {
 	}
 
 	opts := sweep.Options{Workers: *workers, Timeout: *timeout}
+	if *metricsOut != "" {
+		opts.MetricsInterval = config.Cycles(*metricsIval)
+		if opts.MetricsInterval <= 0 {
+			opts.MetricsInterval = metrics.DefaultInterval
+		}
+		if err := os.MkdirAll(*metricsOut, 0o755); err != nil {
+			fatalf("%v", err)
+		}
+	}
 	if !*quiet {
 		opts.Progress = func(p sweep.Progress) {
 			status := fmt.Sprintf("%6.1fs", p.Duration.Seconds())
@@ -123,6 +138,11 @@ func main() {
 	}
 	if *csvOut != "" {
 		if err := writeFile(*csvOut, results, sweep.WriteCSV); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if *metricsOut != "" {
+		if err := writeSeriesDir(*metricsOut, results); err != nil {
 			fatalf("%v", err)
 		}
 	}
@@ -171,6 +191,44 @@ func printTable(w io.Writer, results []sweep.Result, elapsed time.Duration) erro
 	}
 	_, err := io.WriteString(w, t.Markdown())
 	return err
+}
+
+// writeSeriesDir writes one <job-slug>.json per successful job, each
+// holding the job identity and its interval series. Deduplicated jobs
+// map to the same slug and content, so rewrites are harmless.
+func writeSeriesDir(dir string, results []sweep.Result) error {
+	for _, r := range results {
+		if r.Err != nil || r.Results == nil || r.Results.Metrics == nil {
+			continue
+		}
+		out, err := json.MarshalIndent(struct {
+			Job     sweep.Job       `json:"job"`
+			Metrics *metrics.Series `json:"metrics"`
+		}{r.Job, r.Results.Metrics}, "", "  ")
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, jobSlug(r.Job)+".json")
+		if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jobSlug renders a job as a filesystem-safe file stem.
+func jobSlug(j sweep.Job) string {
+	s := j.String()
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.':
+			return r
+		case r == '/', r == ' ', r == '=':
+			return '_'
+		default:
+			return '-'
+		}
+	}, s)
 }
 
 func writeFile(path string, results []sweep.Result, write func(io.Writer, []sweep.Result) error) error {

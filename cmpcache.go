@@ -33,6 +33,7 @@ package cmpcache
 
 import (
 	"cmpcache/internal/config"
+	"cmpcache/internal/metrics"
 	"cmpcache/internal/system"
 	"cmpcache/internal/trace"
 	"cmpcache/internal/workload"
@@ -85,6 +86,34 @@ func Run(cfg Config, tr *Trace) (*Results, error) {
 	if err != nil {
 		return nil, err
 	}
+	return s.Run(), nil
+}
+
+// MetricsProbe collects a per-interval time series (and optionally a
+// per-transaction event trace) from one run; see internal/metrics.
+type MetricsProbe = metrics.Probe
+
+// MetricsConfig parameterizes a MetricsProbe.
+type MetricsConfig = metrics.Config
+
+// MetricsSeries is the interval series a probe produces; Results.Metrics
+// carries it after a RunWithProbe.
+type MetricsSeries = metrics.Series
+
+// NewMetricsProbe returns a probe sampling at cfg.Interval cycles
+// (<= 0 selects the paper's 1M-cycle retry window).
+func NewMetricsProbe(cfg MetricsConfig) *MetricsProbe { return metrics.NewProbe(cfg) }
+
+// RunWithProbe simulates tr with p attached: the returned Results carry
+// p's completed interval series in Results.Metrics, and any trace
+// writer set on p receives the structured event stream. The simulated
+// outcome is identical to Run — the probe is observation-only.
+func RunWithProbe(cfg Config, tr *Trace, p *MetricsProbe) (*Results, error) {
+	s, err := system.New(cfg, tr)
+	if err != nil {
+		return nil, err
+	}
+	s.Attach(p)
 	return s.Run(), nil
 }
 

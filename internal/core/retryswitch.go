@@ -82,6 +82,12 @@ func (s *RetrySwitch) advance(now config.Cycles) {
 	s.windowStart += elapsed * s.window
 }
 
+// ActiveNow reports the switch's state as of its last advance without
+// rolling the sampling window forward. Observation-only callers (the
+// metrics probe) must use this instead of Active so that sampling never
+// perturbs the window sequence the simulation itself observes.
+func (s *RetrySwitch) ActiveNow() bool { return s.active }
+
 // RetriesSeen returns the total retries recorded.
 func (s *RetrySwitch) RetriesSeen() uint64 { return s.retriesSeen }
 

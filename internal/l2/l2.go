@@ -432,6 +432,19 @@ const (
 	VictimAborted
 )
 
+// String renders the action for trace output (static strings only).
+func (a VictimAction) String() string {
+	switch a {
+	case VictimNone:
+		return "none"
+	case VictimQueued:
+		return "queued"
+	case VictimAborted:
+		return "aborted"
+	}
+	return "?"
+}
+
 // ProcessVictim applies the write-back policy to an evicted line,
 // identified by its chip-wide key (as returned by InstallFill) and the
 // state it held. wbhtActive is the retry-rate switch state

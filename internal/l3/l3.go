@@ -208,6 +208,11 @@ func (c *Cache) ReserveSlice(key uint64, now config.Cycles) config.Cycles {
 // QueueInUse exposes current incoming-queue occupancy (tests/diagnostics).
 func (c *Cache) QueueInUse() int { return c.queue.InUse() }
 
+// TakeQueueWindowPeak returns the incoming queue's occupancy high-water
+// mark since the previous call and rearms it (the metrics probe calls
+// this once per sampling window).
+func (c *Cache) TakeQueueWindowPeak() int { return c.queue.TakeWindowPeak() }
+
 // Stats accessors.
 func (c *Cache) DemandLookups() uint64  { return c.demandLookups }
 func (c *Cache) DemandHits() uint64     { return c.demandHits }

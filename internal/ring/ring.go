@@ -69,6 +69,18 @@ func (r *Ring) DataWaited() config.Cycles {
 	return r.data[0].WaitedCycles() + r.data[1].WaitedCycles()
 }
 
+// AddressBusyCycles returns cumulative booked address-ring service time
+// (the numerator of AddressUtilization; samplers difference it to get
+// per-window utilization).
+func (r *Ring) AddressBusyCycles() config.Cycles { return r.addr.BusyCycles() }
+
+// DataBusyCycles returns cumulative booked service time summed over
+// both data-ring directions (full utilization of both rings over an
+// interval w therefore reads as 2*w busy cycles).
+func (r *Ring) DataBusyCycles() config.Cycles {
+	return r.data[0].BusyCycles() + r.data[1].BusyCycles()
+}
+
 // AddressUtilization returns the address ring's busy fraction over
 // elapsed cycles.
 func (r *Ring) AddressUtilization(elapsed config.Cycles) float64 {

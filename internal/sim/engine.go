@@ -77,6 +77,11 @@ type Engine struct {
 	events  []scheduledEvent // 4-ary min-heap ordered by before()
 	stopped bool
 	fired   uint64
+
+	// tick, when non-nil, observes every event's timestamp just before
+	// its handler runs (the metrics probe's window clock). Observation
+	// only: it must not schedule events or mutate simulation state.
+	tick func(Time)
 }
 
 // NewEngine returns an empty engine positioned at cycle zero.
@@ -87,6 +92,12 @@ func (e *Engine) Now() Time { return e.now }
 
 // Fired returns the number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
+
+// SetTick installs fn as the per-event time observer (nil uninstalls
+// it). fn sees each event's timestamp after Now has advanced to it and
+// before the event's handler executes, so a sampler driven by it reads
+// the state the simulation had strictly before the observed cycle.
+func (e *Engine) SetTick(fn func(Time)) { e.tick = fn }
 
 // Grow pre-sizes the pending-event queue to hold at least n events
 // without reallocating, avoiding growth copies mid-run.
@@ -153,6 +164,9 @@ func (e *Engine) Step() bool {
 	ev := e.pop()
 	e.now = ev.at
 	e.fired++
+	if e.tick != nil {
+		e.tick(ev.at)
+	}
 	ev.h(ev.d)
 	return true
 }

@@ -117,9 +117,10 @@ type TokenQueue struct {
 	capacity int
 	inUse    int
 
-	acquired uint64
-	rejected uint64
-	peak     int
+	acquired   uint64
+	rejected   uint64
+	peak       int
+	windowPeak int // high-water mark since the last TakeWindowPeak
 }
 
 // NewTokenQueue returns a TokenQueue with the given capacity; capacity
@@ -142,6 +143,9 @@ func (q *TokenQueue) TryAcquire() bool {
 	q.acquired++
 	if q.inUse > q.peak {
 		q.peak = q.inUse
+	}
+	if q.inUse > q.windowPeak {
+		q.windowPeak = q.inUse
 	}
 	return true
 }
@@ -172,3 +176,12 @@ func (q *TokenQueue) Rejected() uint64 { return q.rejected }
 
 // Peak returns the high-water mark of occupancy.
 func (q *TokenQueue) Peak() int { return q.peak }
+
+// TakeWindowPeak returns the occupancy high-water mark since the
+// previous call and rearms it at the current occupancy (so a queue that
+// stays full across a sampling window keeps reporting its depth).
+func (q *TokenQueue) TakeWindowPeak() int {
+	p := q.windowPeak
+	q.windowPeak = q.inUse
+	return p
+}

@@ -1,0 +1,71 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"cmpcache/internal/config"
+)
+
+// TestMetricsSeriesDeterministicAcrossWorkers runs the same grid with a
+// metrics probe attached at 1 worker and at 4 workers and asserts the
+// collected interval series (and the whole export) are byte-identical:
+// probes are per-run state, so sweep concurrency must not leak into
+// them.
+func TestMetricsSeriesDeterministicAcrossWorkers(t *testing.T) {
+	jobs := []Job{
+		{Workload: "tp", Mechanism: config.Baseline, Outstanding: 6, RefsPerThread: 2000},
+		{Workload: "tp", Mechanism: config.WBHT, Outstanding: 6, RefsPerThread: 2000},
+		{Workload: "trade2", Mechanism: config.Combined, Outstanding: 4, RefsPerThread: 2000},
+	}
+	opts := Options{MetricsInterval: 50_000}
+
+	export := func(workers int) []byte {
+		opts.Workers = workers
+		results := Run(context.Background(), jobs, opts)
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, results); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, r := range results {
+			if r.Err != nil {
+				t.Fatalf("workers=%d job %d: %v", workers, i, r.Err)
+			}
+			if r.Results.Metrics == nil || len(r.Results.Metrics.Samples) == 0 {
+				t.Fatalf("workers=%d job %d: no metrics series collected", workers, i)
+			}
+		}
+		return buf.Bytes()
+	}
+
+	serial := export(1)
+	parallel := export(4)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatal("sweep export with metrics differs between 1 and 4 workers")
+	}
+	if !bytes.Contains(serial, []byte(`"samples"`)) {
+		t.Fatal("export carries no metrics samples")
+	}
+
+	// The series must survive the export round trip intact.
+	var decoded []struct {
+		Results struct {
+			Metrics struct {
+				Interval config.Cycles `json:"interval"`
+			} `json:"Metrics"`
+		} `json:"Results"`
+	}
+	if err := json.Unmarshal(serial, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != len(jobs) {
+		t.Fatalf("decoded %d results, want %d", len(decoded), len(jobs))
+	}
+	for i, d := range decoded {
+		if d.Results.Metrics.Interval != opts.MetricsInterval {
+			t.Fatalf("job %d: exported interval = %d, want %d", i, d.Results.Metrics.Interval, opts.MetricsInterval)
+		}
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"sync"
 
+	"cmpcache/internal/config"
+	"cmpcache/internal/metrics"
 	"cmpcache/internal/system"
 	"cmpcache/internal/trace"
 	"cmpcache/internal/workload"
@@ -15,6 +17,12 @@ import (
 // length) traces are generated once and shared — the simulator only
 // reads trace records, so sharing across concurrent runs is safe.
 type Simulator struct {
+	// MetricsInterval, when positive, attaches a metrics probe sampling
+	// at that window to every run; each Result's Results.Metrics then
+	// carries the per-interval series. Zero leaves runs unprobed (the
+	// zero-overhead default). Set before the sweep starts.
+	MetricsInterval config.Cycles
+
 	mu     sync.Mutex
 	traces map[traceKey]*traceEntry
 }
@@ -84,6 +92,9 @@ func (s *Simulator) Run(ctx context.Context, j Job) (*system.Results, error) {
 	sys, err := system.New(cfg, tr)
 	if err != nil {
 		return nil, err
+	}
+	if s.MetricsInterval > 0 {
+		sys.Attach(metrics.NewProbe(metrics.Config{Interval: s.MetricsInterval}))
 	}
 	return sys.Run(), nil
 }

@@ -173,6 +173,11 @@ type Options struct {
 	// Run overrides the job executor (tests, fault injection). Nil
 	// uses a fresh Simulator shared by the sweep.
 	Run RunFunc
+	// MetricsInterval, when positive and Run is nil, attaches a metrics
+	// probe with that sampling window to every simulation; each job's
+	// Results.Metrics then carries its interval series. Probes are
+	// per-run state, so series are identical at any worker count.
+	MetricsInterval config.Cycles
 }
 
 // Run executes jobs on a bounded worker pool and returns one Result per
@@ -190,7 +195,9 @@ func Run(ctx context.Context, jobs []Job, opts Options) []Result {
 	}
 	runFn := opts.Run
 	if runFn == nil {
-		runFn = NewSimulator().Run
+		sim := NewSimulator()
+		sim.MetricsInterval = opts.MetricsInterval
+		runFn = sim.Run
 	}
 
 	results := make([]Result, len(jobs))

@@ -1,8 +1,6 @@
 package system
 
 import (
-	"fmt"
-
 	"cmpcache/internal/coherence"
 	"cmpcache/internal/config"
 	"cmpcache/internal/sim"
@@ -173,8 +171,8 @@ func (s *System) combineDemand(cache l2Handle, key uint64, kind coherence.TxnKin
 	}
 
 	out := s.collector.Combine(kind, responses)
-	if s.debug != nil {
-		s.debug("demand", key, kind, fmt.Sprintf("src=%v l3valid=%v shared=%v", out.Source, out.L3Valid, out.SharedElsewhere))
+	if s.tracer != nil {
+		s.tracer.Demand(now, cache.ID(), key, kind.String(), out.Source.String(), out.L3Valid, out.SharedElsewhere)
 	}
 
 	if kind == coherence.Upgrade {
@@ -336,8 +334,8 @@ func (s *System) handleVictim(cache l2Handle, vKey uint64, vState coherence.Stat
 	wbhtActive := s.wbhtEnabled() && s.rswitch.Active(now)
 	inL3 := s.l3.Contains(vKey) // oracle peek, used only for scoring
 	action := cache.ProcessVictim(vKey, vState, wbhtActive, inL3)
-	if s.debug != nil {
-		s.debug("victim", vKey, 0, fmt.Sprintf("state=%v action=%d inL3=%v", vState, action, inL3))
+	if s.tracer != nil {
+		s.tracer.Victim(now, cache.ID(), vKey, vState.String(), action.String(), inL3)
 	}
 	if action == l2VictimQueued {
 		s.reuse.recordAttempt(vKey)

@@ -6,6 +6,7 @@ import (
 
 	"cmpcache/internal/config"
 	"cmpcache/internal/l2"
+	"cmpcache/internal/metrics"
 	"cmpcache/internal/stats"
 )
 
@@ -59,8 +60,10 @@ type Results struct {
 	Upgrades      uint64
 
 	// Write-back traffic. WBRequests is the paper's Table 4 "L2 Write
-	// Back Requests": write backs issued on the bus (retries of the same
-	// entry are separate bus requests, matching a bus-level count).
+	// Back Requests": write backs issued on the bus. A retried entry is
+	// requeued and re-issued through the write-back pump, so each retry
+	// already appears here as its own bus issue — WBRetried is a subset
+	// of, not an addition to, this count.
 	WBRequests     uint64
 	WBSquashedL3   uint64
 	WBSquashedPeer uint64
@@ -119,6 +122,11 @@ type Results struct {
 	// the run — the denominator for the events/sec throughput metric
 	// tracked in BENCH_core.json.
 	EventsFired uint64
+
+	// Metrics is the per-interval time series collected when a metrics
+	// probe was attached (nil otherwise, and omitted from JSON so runs
+	// without a probe export unchanged bytes).
+	Metrics *metrics.Series `json:",omitempty"`
 }
 
 // results gathers all component statistics after a run.
@@ -135,7 +143,7 @@ func (s *System) results() *Results {
 		FillsFromMem:  s.fillsFromMem,
 		Upgrades:      s.upgrades,
 
-		WBRequests:     s.wbTxns + s.wbRetried, // each retry re-arbitrates
+		WBRequests:     s.wbTxns,
 		WBSquashedL3:   s.wbSquashedByL3,
 		WBSquashedPeer: s.wbSquashedPeer,
 		WBSnarfed:      s.wbSnarfed,
@@ -175,6 +183,9 @@ func (s *System) results() *Results {
 		SnarfFallbacks:  s.snarfFallbacks,
 
 		EventsFired: s.engine.Fired(),
+	}
+	if s.probe != nil {
+		r.Metrics = s.probe.Finish(elapsed)
 	}
 	r.CleanWBFirstTime, r.CleanWBLostL3 = s.cleanWBFirst, s.cleanWBLost
 	r.L3QueueAcquired, r.L3QueueRejected, r.L3QueuePeak = s.l3.QueueStats()

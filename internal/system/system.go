@@ -24,6 +24,7 @@ import (
 	"cmpcache/internal/l2"
 	"cmpcache/internal/l3"
 	"cmpcache/internal/mem"
+	"cmpcache/internal/metrics"
 	"cmpcache/internal/ring"
 	"cmpcache/internal/sim"
 	"cmpcache/internal/stats"
@@ -80,8 +81,11 @@ type System struct {
 	cleanWBFirst uint64
 	cleanWBLost  uint64
 
-	// debug, when non-nil, is invoked at every combine event (test hook).
-	debug func(ev string, key uint64, kind coherence.TxnKind, extra string)
+	// probe, when attached, samples the interval metrics series; tracer
+	// is its per-transaction event trace (nil unless tracing). Both are
+	// nil in normal runs — the hot paths pay one nil check each.
+	probe  *metrics.Probe
+	tracer *metrics.TraceWriter
 
 	// System-level counters (component-level ones live in the
 	// components).

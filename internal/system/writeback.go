@@ -1,8 +1,6 @@
 package system
 
 import (
-	"fmt"
-
 	"cmpcache/internal/coherence"
 	"cmpcache/internal/config"
 	"cmpcache/internal/l2"
@@ -91,9 +89,6 @@ func (s *System) combineWB(cache l2Handle, key uint64, kind coherence.TxnKind, s
 	}
 
 	out := s.collector.Combine(kind, responses)
-	if s.debug != nil {
-		s.debug("wb", key, kind, fmt.Sprintf("l3resp=%v retry=%v squash=%v toL3=%v", l3resp, out.Retry, out.WBSquashed, out.WBToL3))
-	}
 	// l3Accepted tracks whether the L3's incoming-queue token is still
 	// held and must be released before this transaction retires (unless
 	// sendToL3 takes over the obligation).
@@ -121,6 +116,10 @@ func (s *System) combineWB(cache l2Handle, key uint64, kind coherence.TxnKind, s
 
 	entry, cancelled := cache.CompleteWB(key)
 
+	if s.tracer != nil {
+		s.tracer.WriteBack(now, cache.ID(), key, kind.String(), wbDisposition(cancelled, out), snarfable)
+	}
+
 	switch {
 	case cancelled:
 		// A demand access reclaimed the line while this transaction was
@@ -135,11 +134,7 @@ func (s *System) combineWB(cache l2Handle, key uint64, kind coherence.TxnKind, s
 		// The L3 had no queue space and nobody else took the line: the
 		// entry re-arbitrates after a backoff. This is the retry traffic
 		// the adaptive mechanisms exist to reduce.
-		s.wbRetried++
-		s.rswitch.RecordRetry(now)
-		cache.RequeueWB(entry)
-		s.engine.ScheduleCall(s.cfg.RetryBackoff, s.hFinishWB,
-			sim.EventData{Key: uint64(cache.ID())})
+		s.retryWB(cache, entry, now)
 
 	case out.WBSquashed:
 		if out.SquashedByL3 {
@@ -159,24 +154,7 @@ func (s *System) combineWB(cache l2Handle, key uint64, kind coherence.TxnKind, s
 		s.finishWB(cache.ID())
 
 	case out.WBSnarfed:
-		winner := s.l2s[out.SnarfWinner]
-		if winner.AcceptSnarf(entry) {
-			s.wbSnarfed++
-			if l3Accepted {
-				s.l3.ReleaseToken()
-			}
-			// The line moves L2-to-L2 across the data ring.
-			s.ring.ReserveData(now)
-		} else if l3Accepted {
-			// The winner's candidate way vanished within this cycle
-			// (extremely rare); fall back to the L3.
-			s.snarfFallbacks++
-			s.reuse.recordAccepted(key)
-			s.sendToL3(key, kind, now)
-		} else {
-			s.snarfFallbacks++
-		}
-		s.finishWB(cache.ID())
+		s.settleSnarf(cache, entry, s.l2s[out.SnarfWinner], l3Accepted, now)
 
 	case out.WBToL3:
 		s.wbToL3++
@@ -187,6 +165,70 @@ func (s *System) combineWB(cache l2Handle, key uint64, kind coherence.TxnKind, s
 	default:
 		panic("system: write-back combine with no disposition")
 	}
+}
+
+// retryWB counts a retried write back, requeues entry at the head of
+// its queue, and re-arbitrates after the configured backoff (hFinishWB
+// releases the L2's bus slot when the backoff expires).
+func (s *System) retryWB(cache l2Handle, entry l2.WBEntry, now config.Cycles) {
+	s.wbRetried++
+	s.rswitch.RecordRetry(now)
+	cache.RequeueWB(entry)
+	s.engine.ScheduleCall(s.cfg.RetryBackoff, s.hFinishWB,
+		sim.EventData{Key: uint64(cache.ID())})
+}
+
+// settleSnarf finishes a write back whose combined response elected a
+// snarf winner. If the winner can no longer install the line (its
+// candidate way vanished within this cycle — extremely rare), the line
+// falls back to the L3 when its queue token is held, and otherwise is
+// requeued to re-arbitrate like any retried write back. The requeue is
+// load-bearing: dropping the entry here would silently lose a dirty
+// line.
+func (s *System) settleSnarf(cache l2Handle, entry l2.WBEntry, winner l2Handle, l3Accepted bool, now config.Cycles) {
+	switch {
+	case winner.AcceptSnarf(entry):
+		s.wbSnarfed++
+		if l3Accepted {
+			s.l3.ReleaseToken()
+		}
+		// The line moves L2-to-L2 across the data ring.
+		s.ring.ReserveData(now)
+	case l3Accepted:
+		s.snarfFallbacks++
+		if s.tracer != nil {
+			s.tracer.WriteBack(now, cache.ID(), entry.Key, entry.Kind.String(), "snarf-fallback", entry.Snarfable)
+		}
+		s.reuse.recordAccepted(entry.Key)
+		s.sendToL3(entry.Key, entry.Kind, now)
+	default:
+		s.snarfFallbacks++
+		if s.tracer != nil {
+			s.tracer.WriteBack(now, cache.ID(), entry.Key, entry.Kind.String(), "snarf-retry", entry.Snarfable)
+		}
+		s.retryWB(cache, entry, now)
+		return // the entry re-arbitrates; the bus slot is not yet free
+	}
+	s.finishWB(cache.ID())
+}
+
+// wbDisposition names a write-back combine outcome for the event trace.
+func wbDisposition(cancelled bool, out coherence.Outcome) string {
+	switch {
+	case cancelled:
+		return "cancelled"
+	case out.Retry:
+		return "retry"
+	case out.WBSquashed && out.SquashedByL3:
+		return "squash-l3"
+	case out.WBSquashed:
+		return "squash-peer"
+	case out.WBSnarfed:
+		return "snarf"
+	case out.WBToL3:
+		return "to-l3"
+	}
+	return "none"
 }
 
 // finishWB retires l2idx's in-flight write-back transaction and pumps
