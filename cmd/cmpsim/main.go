@@ -41,6 +41,8 @@ func main() {
 		jsonOut      = flag.Bool("json", false, "print the full result set as JSON instead of the text report")
 		metricsOut   = flag.String("metrics-out", "", "write the per-interval metrics series as JSON to this file (- for stdout)")
 		metricsIval  = flag.Int64("metrics-interval", 0, "metrics sampling window in cycles (0 = 1M, the paper's retry window)")
+		auditRun     = flag.Bool("audit", false, "attach the shadow invariant checker (coherence, dirty-line conservation, resource credits) and fail on violations")
+		auditDiff    = flag.Bool("audit-differential", true, "with -audit, also run the reference coherence model and diff end states")
 		traceOut     = flag.String("trace-out", "", "write a structured event trace to this file (.jsonl = JSON Lines, otherwise Chrome trace_event viewable in Perfetto)")
 		cpuprofile   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprofile   = flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
@@ -129,7 +131,16 @@ func main() {
 	}
 
 	var res *cmpcache.Results
-	if *metricsOut != "" || *traceOut != "" {
+	auditFailed := false
+	if *auditRun {
+		auditor := cmpcache.NewAuditor(cmpcache.AuditConfig{Differential: *auditDiff})
+		res, err = cmpcache.RunAudited(cfg, tr, auditor)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprint(os.Stderr, auditor.Summary())
+		auditFailed = !auditor.Ok()
+	} else if *metricsOut != "" || *traceOut != "" {
 		probe := cmpcache.NewMetricsProbe(cmpcache.MetricsConfig{
 			Interval: config.Cycles(*metricsIval),
 		})
@@ -169,11 +180,14 @@ func main() {
 		if err := enc.Encode(res); err != nil {
 			fatalf("%v", err)
 		}
-		return
+	} else {
+		fmt.Printf("workload             %s (%d refs, %d threads)\n",
+			tr.Name, len(tr.Records), tr.Threads)
+		fmt.Print(res.Summary())
 	}
-	fmt.Printf("workload             %s (%d refs, %d threads)\n",
-		tr.Name, len(tr.Records), tr.Threads)
-	fmt.Print(res.Summary())
+	if auditFailed {
+		os.Exit(1)
+	}
 }
 
 // writeSeries exports the interval series as indented JSON.

@@ -32,6 +32,7 @@
 package cmpcache
 
 import (
+	"cmpcache/internal/audit"
 	"cmpcache/internal/config"
 	"cmpcache/internal/metrics"
 	"cmpcache/internal/system"
@@ -114,6 +115,35 @@ func RunWithProbe(cfg Config, tr *Trace, p *MetricsProbe) (*Results, error) {
 		return nil, err
 	}
 	s.Attach(p)
+	return s.Run(), nil
+}
+
+// Auditor is the shadow invariant checker of internal/audit: attached
+// to a run, it verifies single-writer coherence, dirty-line
+// conservation, squash soundness and resource-credit conservation on
+// every sweep and at end-of-run drain, without perturbing the
+// simulation.
+type Auditor = audit.Auditor
+
+// AuditConfig parameterizes an Auditor.
+type AuditConfig = audit.Config
+
+// AuditViolation is one invariant failure an Auditor recorded.
+type AuditViolation = audit.Violation
+
+// NewAuditor returns an unattached invariant checker.
+func NewAuditor(cfg AuditConfig) *Auditor { return audit.New(cfg) }
+
+// RunAudited simulates tr with a attached as a shadow invariant
+// checker. The simulated outcome is identical to Run — the auditor is
+// observation-only; inspect a.Ok(), a.Violations() or a.Summary()
+// afterward.
+func RunAudited(cfg Config, tr *Trace, a *Auditor) (*Results, error) {
+	s, err := system.New(cfg, tr)
+	if err != nil {
+		return nil, err
+	}
+	s.AttachAuditor(a)
 	return s.Run(), nil
 }
 

@@ -1,0 +1,236 @@
+package audit
+
+import (
+	"cmpcache/internal/coherence"
+	"cmpcache/internal/l2"
+)
+
+// l2WBEntry keeps the hook signatures readable.
+type l2WBEntry = l2.WBEntry
+
+// RefModel is a naive map-based reference implementation of the
+// POWER4-style coherence protocol over the L2 arrays and write-back
+// queues: no timing, no capacity, no slices — just the state-transition
+// rules of the paper, applied at each transaction's commit point. The
+// auditor feeds it through the same semantic hooks the invariant
+// ledgers use and diffs its end state against the real hierarchy. It
+// re-derives each fill's install state from its own view of the peer
+// caches — arrays and castout buffers, which snoop alike — so a
+// sequencing bug in the real system (a lost invalidation, a wrong
+// supplier transition, a stale queue entry left live) diverges the two.
+//
+// Scope: the model does not track the L3 or memory (their keys-only
+// state carries no protocol decisions the L2 side cannot check), and it
+// has no replacement policy — it learns evictions from the Victim hook
+// rather than predicting them.
+type RefModel struct {
+	lines  []map[uint64]coherence.State
+	queues []map[uint64]coherence.State // live write-back entries by key
+	report func(kind string, key uint64, format string, args ...any)
+}
+
+// NewRefModel returns an empty model of numL2 caches reporting
+// divergences through report.
+func NewRefModel(numL2 int, report func(string, uint64, string, ...any)) *RefModel {
+	m := &RefModel{report: report}
+	for i := 0; i < numL2; i++ {
+		m.lines = append(m.lines, make(map[uint64]coherence.State))
+		m.queues = append(m.queues, make(map[uint64]coherence.State))
+	}
+	return m
+}
+
+// StoreHit: a store completed locally without a bus transaction, which
+// the protocol only permits from Exclusive (silent upgrade) or
+// Modified.
+func (m *RefModel) StoreHit(idx int, key uint64) {
+	st := m.lines[idx][key]
+	if st != coherence.Exclusive && st != coherence.Modified {
+		m.report("model-silent-store", key,
+			"L2 %d completed a store locally while the model holds %v", idx, st)
+	}
+	m.lines[idx][key] = coherence.Modified
+}
+
+// Upgrade applies an ownership-claim combine. A stale claim (restarted)
+// is a complete no-op for everyone else — the requester reissues as
+// RWITM. A committed claim invalidates every peer copy, in the arrays
+// and the castout buffers alike; a Modified buffer entry is kept
+// defensively (it cannot coexist with a valid claimer).
+func (m *RefModel) Upgrade(idx int, key uint64, restarted bool) {
+	st, valid := m.lines[idx][key]
+	if restarted {
+		if valid {
+			m.report("model-upgrade", key,
+				"L2 %d restarted its upgrade but the model still holds %v", idx, st)
+		}
+		return
+	}
+	for p := range m.lines {
+		if p == idx {
+			continue
+		}
+		if pst, ok := m.lines[p][key]; ok && pst != coherence.Modified {
+			delete(m.lines[p], key)
+		}
+		if qst, ok := m.queues[p][key]; ok && qst != coherence.Modified {
+			delete(m.queues[p], key)
+		}
+	}
+	if !valid {
+		m.report("model-upgrade", key,
+			"L2 %d committed an upgrade the model says it had no copy for", idx)
+	}
+	m.lines[idx][key] = coherence.Modified
+}
+
+// Fill applies a demand fill commit: the expected install state is
+// derived from the model's own peer states (Table-free POWER4 rules —
+// dirty supplier demotes to Tagged and the reader installs Shared;
+// a clean copy elsewhere makes the reader the new SharedLast supplier;
+// a sole fill installs Exclusive; RWITM always installs Modified and
+// invalidates everyone else). Castout-buffer entries count as copies
+// and take the same snoop transitions as array lines.
+func (m *RefModel) Fill(idx int, key uint64, kind coherence.TxnKind, st coherence.State, out coherence.Outcome) {
+	anyDirty, anyValid := false, false
+	for p := range m.lines {
+		if p == idx {
+			continue
+		}
+		if pst, ok := m.lines[p][key]; ok {
+			anyValid = true
+			if pst.Dirty() {
+				anyDirty = true
+			}
+		}
+		if qst, ok := m.queues[p][key]; ok {
+			anyValid = true
+			if qst.Dirty() {
+				anyDirty = true
+			}
+		}
+	}
+	want := coherence.Exclusive
+	switch {
+	case kind == coherence.RWITM:
+		want = coherence.Modified
+	case anyDirty:
+		want = coherence.Shared
+	case anyValid:
+		want = coherence.SharedLast
+	}
+	if want != st {
+		m.report("model-fill-state", key,
+			"L2 %d installed %v from %v; the model derives %v", idx, st, out.Source, want)
+	}
+
+	for p := range m.lines {
+		if p == idx {
+			continue
+		}
+		if pst, ok := m.lines[p][key]; ok {
+			switch kind {
+			case coherence.Read:
+				switch pst {
+				case coherence.Modified:
+					m.lines[p][key] = coherence.Tagged
+				case coherence.Exclusive, coherence.SharedLast:
+					m.lines[p][key] = coherence.Shared
+				}
+			case coherence.RWITM:
+				delete(m.lines[p], key)
+			}
+		}
+		if qst, ok := m.queues[p][key]; ok {
+			switch kind {
+			case coherence.Read:
+				switch qst {
+				case coherence.Modified:
+					m.queues[p][key] = coherence.Tagged
+				case coherence.Exclusive, coherence.SharedLast:
+					m.queues[p][key] = coherence.Shared
+				}
+			case coherence.RWITM:
+				delete(m.queues[p], key)
+			}
+		}
+	}
+	// Follow the real install so one divergence does not cascade.
+	m.lines[idx][key] = st
+}
+
+// Victim removes an evicted line and, when queued, records its
+// write-back entry.
+func (m *RefModel) Victim(idx int, key uint64, st coherence.State, queued bool) {
+	if mst, ok := m.lines[idx][key]; !ok {
+		m.report("model-victim", key, "L2 %d evicted a line the model says it lacks", idx)
+	} else if mst != st {
+		m.report("model-victim", key,
+			"L2 %d evicted the line in %v; the model holds %v", idx, st, mst)
+	}
+	delete(m.lines[idx], key)
+	if queued {
+		m.queues[idx][key] = st
+	}
+}
+
+// Reinstall moves a write-back-buffer line back into the array. The
+// entry carries any demotion a snoop applied while it was queued; the
+// model cross-checks its own queue state against it.
+func (m *RefModel) Reinstall(idx int, e l2WBEntry) {
+	if qst, ok := m.queues[idx][e.Key]; !ok {
+		m.report("model-wb-state", e.Key,
+			"L2 %d reinstalled a write back the model's queue lacks", idx)
+	} else if qst != e.State {
+		m.report("model-wb-state", e.Key,
+			"L2 %d reinstalled the entry in %v; the model queues %v", idx, e.State, qst)
+	}
+	delete(m.queues[idx], e.Key)
+	m.lines[idx][e.Key] = e.State
+}
+
+// Squashed retires a squashed write back. A peer squash of a dirty line
+// transfers the write-back obligation (squasher's copy goes Tagged);
+// a peer squash of the SharedLast supplier's clean write back hands the
+// supplier role to the squasher's plain Shared copy.
+func (m *RefModel) Squashed(idx int, e l2WBEntry, byL3 bool, squasher int) {
+	delete(m.queues[idx], e.Key)
+	if byL3 || squasher < 0 {
+		return
+	}
+	st, ok := m.lines[squasher][e.Key]
+	switch {
+	case e.Kind == coherence.DirtyWB:
+		if !ok {
+			m.report("model-squash", e.Key,
+				"L2 %d squashed a dirty write back without a copy in the model", squasher)
+			return
+		}
+		m.lines[squasher][e.Key] = coherence.Tagged
+	case e.State == coherence.SharedLast && ok && st == coherence.Shared:
+		m.lines[squasher][e.Key] = coherence.SharedLast
+	}
+}
+
+// Snarfed installs a snarfed write back in the winner, with whatever
+// state the entry carried at arbitration (including snoop demotions).
+func (m *RefModel) Snarfed(idx int, e l2WBEntry, winner int, displaced uint64, dropped bool) {
+	if qst, ok := m.queues[idx][e.Key]; ok && qst != e.State {
+		m.report("model-wb-state", e.Key,
+			"L2 %d's snarfed entry carries %v; the model queues %v", idx, e.State, qst)
+	}
+	delete(m.queues[idx], e.Key)
+	if dropped {
+		if st, ok := m.lines[winner][displaced]; !ok || st != coherence.Shared {
+			m.report("model-snarf-drop", displaced,
+				"snarf install in L2 %d displaced a line the model holds as %v", winner, st)
+		}
+		delete(m.lines[winner], displaced)
+	}
+	m.lines[winner][e.Key] = e.State
+}
+
+// ToL3 retires a write back accepted by the L3.
+func (m *RefModel) ToL3(idx int, key uint64) {
+	delete(m.queues[idx], key)
+}

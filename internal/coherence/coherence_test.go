@@ -339,3 +339,88 @@ func TestCombinedCounter(t *testing.T) {
 		t.Fatalf("Combined = %d, want 2", c.Combined())
 	}
 }
+
+// TestSnarfArbitrationRoundRobin: with several willing acceptors on
+// every combine, wins must rotate fairly — each of the three peers wins
+// once per cycle of three, and the contention counter tracks every
+// multi-candidate arbitration.
+func TestSnarfArbitrationRoundRobin(t *testing.T) {
+	c := NewCollector()
+	offer := []AgentResponse{
+		resp(1, RespSnarfAccept),
+		resp(2, RespSnarfAccept),
+		resp(3, RespSnarfAccept),
+		resp(8, RespWBAccept),
+	}
+	var winners []int
+	for i := 0; i < 6; i++ {
+		out := c.Combine(CleanWB, offer)
+		if !out.WBSnarfed {
+			t.Fatalf("combine %d: snarf candidates present but WBSnarfed false", i)
+		}
+		winners = append(winners, out.SnarfWinner)
+	}
+	seen := map[int]bool{}
+	for _, w := range winners[:3] {
+		seen[w] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("first cycle of wins %v does not visit all three peers", winners[:3])
+	}
+	for i := 3; i < 6; i++ {
+		if winners[i] != winners[i-3] {
+			t.Fatalf("wins %v are not periodic with period 3", winners)
+		}
+	}
+	if c.SnarfArbitrated() != 6 {
+		t.Fatalf("SnarfArbitrated = %d, want 6", c.SnarfArbitrated())
+	}
+	if c.SnarfContended() != 6 {
+		t.Fatalf("SnarfContended = %d, want 6 (every combine had 3 candidates)", c.SnarfContended())
+	}
+}
+
+// TestSnarfArbitrationAdvancesPastRejectedWinner: the round-robin
+// pointer advances at election time, before the winner tries to install
+// the line. If the elected cache later rejects the snarf (no
+// replaceable way) and the write back retries, the re-arbitration with
+// the same candidates must elect the NEXT peer rather than starving on
+// the rejector.
+func TestSnarfArbitrationAdvancesPastRejectedWinner(t *testing.T) {
+	c := NewCollector()
+	offer := []AgentResponse{
+		resp(1, RespSnarfAccept),
+		resp(2, RespSnarfAccept),
+		resp(3, RespSnarfAccept),
+	}
+	first := c.Combine(CleanWB, offer).SnarfWinner
+	// The winner's install is assumed rejected; nothing is reported back
+	// to the collector. The retried combine sees the same volunteers.
+	second := c.Combine(CleanWB, offer).SnarfWinner
+	if second == first {
+		t.Fatalf("re-arbitration elected the same peer %d twice", first)
+	}
+	if c.SnarfContended() != 2 {
+		t.Fatalf("SnarfContended = %d, want 2", c.SnarfContended())
+	}
+}
+
+// TestCombineWriteBackMultiCandidateAllocFree pins the candidate-buffer
+// reuse: a steady-state multi-candidate write-back combine must not
+// allocate.
+func TestCombineWriteBackMultiCandidateAllocFree(t *testing.T) {
+	c := NewCollector()
+	offer := []AgentResponse{
+		resp(1, RespSnarfAccept),
+		resp(2, RespSnarfAccept),
+		resp(3, RespSnarfAccept),
+		resp(8, RespWBAccept),
+	}
+	c.Combine(CleanWB, offer) // warm the reused buffer
+	allocs := testing.AllocsPerRun(200, func() {
+		c.Combine(CleanWB, offer)
+	})
+	if allocs != 0 {
+		t.Fatalf("multi-candidate combine allocates %.1f/op, want 0", allocs)
+	}
+}

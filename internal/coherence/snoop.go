@@ -145,6 +145,12 @@ type AgentResponse struct {
 type Collector struct {
 	rrNext int // next L2 index favored for snarf wins
 
+	// snarfBuf is the reused candidate buffer for write-back combines;
+	// it is never retained beyond one Combine call, so collecting
+	// multi-candidate snarf arbitrations allocates nothing in steady
+	// state.
+	snarfBuf []int
+
 	combined   uint64
 	retries    uint64
 	snarfArbs  uint64
@@ -239,7 +245,7 @@ func (c *Collector) combineDemand(out Outcome, responses []AgentResponse) Outcom
 }
 
 func (c *Collector) combineWriteBack(out Outcome, responses []AgentResponse) Outcome {
-	var snarfers []int
+	snarfers := c.snarfBuf[:0]
 	peerSquash := false
 	l3Redundant := false
 	l3Accept := false
@@ -258,6 +264,7 @@ func (c *Collector) combineWriteBack(out Outcome, responses []AgentResponse) Out
 			l3Retry = true
 		}
 	}
+	c.snarfBuf = snarfers
 	switch {
 	case peerSquash:
 		// Nothing further: losers (snarf volunteers, the L3) observe the

@@ -231,6 +231,26 @@ func (c *Cache) State(key uint64) coherence.State {
 	return coherence.Invalid
 }
 
+// ForEachLine invokes fn for every valid line with its chip-wide key,
+// coherence state and flag bits. It perturbs neither recency nor
+// statistics, so shadow checkers may call it between events.
+func (c *Cache) ForEachLine(fn func(key uint64, st coherence.State, flags uint8)) {
+	for si, s := range c.slices {
+		idx := uint64(si)
+		s.ForEach(func(l cache.Line) {
+			fn(l.Key<<c.sliceShift|idx, coherence.State(l.State), l.Flags)
+		})
+	}
+}
+
+// ForEachWB invokes fn for every write-back queue entry — live,
+// in-flight and cancelled alike — head first. Observation-only.
+func (c *Cache) ForEachWB(fn func(e WBEntry)) {
+	for i := 0; i < c.wbq.Len(); i++ {
+		fn(*c.wbq.At(i))
+	}
+}
+
 // SetState overwrites the state of a resident line (test hook and
 // upgrade-commit path). It panics if the line is absent, which would
 // indicate a protocol sequencing bug.
@@ -365,17 +385,6 @@ func (c *Cache) HeadWB() (*WBEntry, bool) {
 		}
 	}
 	return nil, false
-}
-
-// RetryWB returns the in-flight entry for key to issuable state so it
-// re-arbitrates after backoff.
-func (c *Cache) RetryWB(key uint64) {
-	for i := 0; i < c.wbq.Len(); i++ {
-		if e := c.wbq.At(i); e.Key == key && e.InFlight {
-			e.InFlight = false
-			return
-		}
-	}
 }
 
 // RequeueWB reinstates a retried entry at the head of the queue so it
@@ -562,12 +571,95 @@ func (c *Cache) SnoopDemand(key uint64, kind coherence.TxnKind) coherence.Respon
 		c.stats.Invalidations++
 		return resp
 	case coherence.Upgrade:
+		if st == coherence.Modified {
+			// A lost ownership race: our own claim (or RWITM) already
+			// invalidated the upgrader's copy, so its stale Upgrade must
+			// not destroy the only current copy of the data. The system
+			// never snoops a stale claim (it restarts as RWITM straight
+			// from the combine), so this guard is defense in depth.
+			return coherence.RespNull
+		}
 		// The claimer already holds the data; we just relinquish ours.
 		s.Invalidate(k)
 		c.stats.Invalidations++
 		return coherence.RespShared
 	}
 	return coherence.RespNull
+}
+
+// SnoopDemandWB extends demand snooping to the write-back queue: a
+// castout buffer participates in snooping exactly like the tag array,
+// otherwise a queued entry goes stale the moment a peer's RWITM or
+// Upgrade commits and a later reinstallation or snarf resurrects it as
+// a valid copy alongside the new owner's Modified line. The system
+// calls it when the tag array had no copy (the two never hold the same
+// line at once). State transitions mirror SnoopDemand's: a Read demotes
+// the entry in place (Modified→Tagged, Exclusive/SharedLast→Shared) and
+// supplies the data; an invalidating transaction cancels the entry —
+// removed when still queued, poisoned when already on the bus — and
+// returns it so the caller can audit the hand-off. A Modified entry
+// survives an Upgrade snoop for the same reason a Modified array line
+// does: it can only coexist with a claim that has already lost its
+// race.
+func (c *Cache) SnoopDemandWB(key uint64, kind coherence.TxnKind) (resp coherence.Response, cancelled WBEntry, didCancel bool) {
+	i := c.findWB(key)
+	if i < 0 {
+		return coherence.RespNull, WBEntry{}, false
+	}
+	e := c.wbq.At(i)
+	st := e.State
+	switch kind {
+	case coherence.Read:
+		switch st {
+		case coherence.Modified:
+			e.State = coherence.Tagged
+			c.stats.Interventions++
+			return coherence.RespModifiedIntervention, WBEntry{}, false
+		case coherence.Tagged:
+			c.stats.Interventions++
+			return coherence.RespModifiedIntervention, WBEntry{}, false
+		case coherence.Exclusive, coherence.SharedLast:
+			e.State = coherence.Shared // requester becomes SL
+			c.stats.Interventions++
+			return coherence.RespSharedIntervention, WBEntry{}, false
+		default:
+			return coherence.RespShared, WBEntry{}, false
+		}
+	case coherence.RWITM:
+		resp = coherence.RespShared
+		switch st {
+		case coherence.Modified, coherence.Tagged:
+			c.stats.Interventions++
+			resp = coherence.RespModifiedIntervention
+		case coherence.Exclusive, coherence.SharedLast:
+			c.stats.Interventions++
+			resp = coherence.RespSharedIntervention
+		}
+		out := *e
+		c.dropWBAt(i)
+		c.stats.Invalidations++
+		return resp, out, true
+	case coherence.Upgrade:
+		if st == coherence.Modified {
+			return coherence.RespNull, WBEntry{}, false
+		}
+		out := *e
+		c.dropWBAt(i)
+		c.stats.Invalidations++
+		return coherence.RespShared, out, true
+	}
+	return coherence.RespNull, WBEntry{}, false
+}
+
+// dropWBAt invalidates queue slot i: removed outright when still
+// waiting, poisoned when its bus transaction is in flight (the combine
+// discards a cancelled entry).
+func (c *Cache) dropWBAt(i int) {
+	if c.wbq.At(i).InFlight {
+		c.wbq.At(i).Cancelled = true
+	} else {
+		c.wbq.RemoveAt(i)
+	}
 }
 
 // noteIntervention updates intervention statistics, scoring snarfed
@@ -625,8 +717,10 @@ func (c *Cache) SnoopWB(key uint64, kind coherence.TxnKind, snarfable bool) cohe
 // The install repeats the victim search (still within the same combine
 // event, so the set cannot have changed) and places the line per the
 // configured insertion policy, marked snarfed, with its original
-// coherence state. It reports whether the install happened.
-func (c *Cache) AcceptSnarf(e WBEntry) bool {
+// coherence state. ok reports whether the install happened; when it
+// displaced a valid (Shared) line, dropped is true and displaced holds
+// that line's chip-wide key so conservation checkers can account for it.
+func (c *Cache) AcceptSnarf(e WBEntry) (displaced uint64, dropped bool, ok bool) {
 	s, k := c.slice(e.Key)
 	okStates := []int8{}
 	if c.cfg.Snarf.VictimizeShared {
@@ -634,13 +728,30 @@ func (c *Cache) AcceptSnarf(e WBEntry) bool {
 	}
 	way, old := s.ReplaceableWay(k, okStates...)
 	if way < 0 {
-		return false
+		return 0, false, false
 	}
 	if old.Valid {
 		c.stats.SharedDropped++
 	}
-	s.ReplaceWay(k, way, int8(e.State), flagSnarfed, c.cfg.Snarf.InsertMRU)
+	prev := s.ReplaceWay(k, way, int8(e.State), flagSnarfed, c.cfg.Snarf.InsertMRU)
 	c.stats.SnarfInstalls++
+	return c.keyFromSlice(prev.Key, e.Key), prev.Valid, true
+}
+
+// TakeSupplierRole promotes this cache's plain Shared copy of key to
+// SharedLast, inheriting the designated clean-supplier role. The system
+// calls it when a peer's clean write back of a SharedLast line is
+// squashed because we hold a copy: without the hand-off the remaining
+// sharers would have no intervention source, and the next read miss
+// would go off chip despite the line being resident on chip. It reports
+// whether the promotion happened (false when we no longer hold the line
+// or hold it in a state that already supplies).
+func (c *Cache) TakeSupplierRole(key uint64) bool {
+	s, k := c.slice(key)
+	if l, ok := s.Peek(k); !ok || coherence.State(l.State) != coherence.Shared {
+		return false
+	}
+	s.SetState(k, int8(coherence.SharedLast))
 	return true
 }
 

@@ -209,7 +209,11 @@ func TestWBRetryRequeues(t *testing.T) {
 	c, _ := newL2(t, config.Baseline)
 	c.ProcessVictim(1, coherence.Modified, false, false)
 	e, _ := c.HeadWB()
-	c.RetryWB(e.Key)
+	entry, cancelled := c.CompleteWB(e.Key)
+	if cancelled {
+		t.Fatal("entry unexpectedly cancelled")
+	}
+	c.RequeueWB(entry)
 	e2, ok := c.HeadWB()
 	if !ok || e2.Key != 1 {
 		t.Fatal("retried entry not re-issuable")
@@ -404,7 +408,7 @@ func TestSnoopWBInvalidOnlyPolicy(t *testing.T) {
 func TestAcceptSnarfInstallsMarked(t *testing.T) {
 	c, cfg := newL2(t, config.Snarf)
 	e := WBEntry{Key: 64, Kind: coherence.CleanWB, State: coherence.Exclusive}
-	if !c.AcceptSnarf(e) {
+	if _, _, ok := c.AcceptSnarf(e); !ok {
 		t.Fatal("AcceptSnarf failed on empty cache")
 	}
 	if st := c.State(64); st != coherence.Exclusive {

@@ -93,6 +93,17 @@ func (c *Cache) Contains(key uint64) bool {
 	return s.Contains(k)
 }
 
+// PeekLine reports (without perturbing stats or recency) whether key is
+// valid in the L3 and whether that copy is dirty. Shadow checkers use
+// it for dirty-line conservation.
+func (c *Cache) PeekLine(key uint64) (present, dirty bool) {
+	s, _, k := c.slice(key)
+	if l, ok := s.Peek(k); ok {
+		return true, l.State == stDirty
+	}
+	return false, false
+}
+
 // SnoopDemand is the L3 directory's response to a demand transaction.
 // Read hits keep the line (and refresh its recency); RWITM hits supply
 // data but invalidate the L3 copy, which would otherwise go stale the

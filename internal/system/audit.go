@@ -1,0 +1,55 @@
+package system
+
+import (
+	"cmpcache/internal/audit"
+	"cmpcache/internal/sim"
+)
+
+// AttachAuditor installs a as this run's shadow invariant checker: the
+// engine's per-event tick drives its periodic sweeps, and the protocol
+// commit points call its semantic hooks. Attach before Run. Like the
+// metrics probe, an auditor is observation-only — it never perturbs the
+// event sequence — and a system without one pays a single nil check per
+// hook site.
+func (s *System) AttachAuditor(a *audit.Auditor) {
+	s.auditor = a
+	a.Bind(audit.View{
+		Cfg:        &s.cfg,
+		L2s:        s.l2s,
+		L3:         s.l3,
+		WBInFlight: func(idx int) bool { return s.wbInFlight[idx] },
+		Counters: func() audit.Counters {
+			return audit.Counters{
+				SnarfArbitrated: s.collector.SnarfArbitrated(),
+				WBSnarfed:       s.wbSnarfed,
+				SnarfFallbacks:  s.snarfFallbacks,
+			}
+		},
+	})
+	s.installTick()
+}
+
+// installTick composes the engine's single per-event tick slot from
+// whichever observers are attached, so probe and auditor coexist in any
+// attach order.
+func (s *System) installTick() {
+	probe, aud := s.probe, s.auditor
+	switch {
+	case probe != nil && aud != nil:
+		s.engine.SetTick(func(t sim.Time) { probe.Tick(t); aud.Tick(t) })
+	case probe != nil:
+		s.engine.SetTick(probe.Tick)
+	case aud != nil:
+		s.engine.SetTick(aud.Tick)
+	}
+}
+
+// releaseL3Token returns one L3 incoming-queue token, keeping the
+// auditor's credit ledger in step. Every release in the system goes
+// through here.
+func (s *System) releaseL3Token() {
+	s.l3.ReleaseToken()
+	if s.auditor != nil {
+		s.auditor.OnTokenReleased()
+	}
+}

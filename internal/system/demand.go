@@ -65,6 +65,9 @@ func (s *System) resolve(p *pendingAccess) {
 	cache, key, isStore := p.cache, p.key, p.isStore
 	switch cache.Probe(key, isStore, p.count) {
 	case probeHit:
+		if isStore && s.auditor != nil {
+			s.auditor.OnStoreHit(cache.ID(), key)
+		}
 		s.finishAccess(p, now)
 
 	case probeWBBufferHit:
@@ -77,6 +80,9 @@ func (s *System) resolve(p *pendingAccess) {
 			p.count = false
 			s.resolve(p)
 			return
+		}
+		if s.auditor != nil {
+			s.auditor.OnWBReinstall(cache.ID(), e)
 		}
 		vKey, vState, evicted := cache.Reinstall(e)
 		if evicted {
@@ -142,6 +148,18 @@ func (s *System) combineDemand(cache l2Handle, key uint64, kind coherence.TxnKin
 	now := s.engine.Now()
 	isLoad := kind == coherence.Read
 
+	if kind == coherence.Upgrade && !cache.State(key).Valid() {
+		// The claim lost its race: a transaction serialized before this
+		// one already invalidated the requester's copy. A stale claim
+		// must be a complete no-op for everyone else — bus ordering
+		// allows a Read to have demoted the new owner to Tagged in the
+		// meantime, and snooping the claim would invalidate that only
+		// dirty copy (and the L3's). Restart as a full RWITM without
+		// snooping anyone.
+		s.commitUpgrade(cache, key, now)
+		return
+	}
+
 	// The snarf reuse tables observe every demand miss on the bus
 	// ("missed on either locally or by another L2 cache"), and the
 	// Table 2 tracker scores write-back reuse.
@@ -160,6 +178,12 @@ func (s *System) combineDemand(cache l2Handle, key uint64, kind coherence.TxnKin
 			continue
 		}
 		resp := peer.SnoopDemand(key, kind)
+		if resp == coherence.RespNull {
+			// The castout buffer snoops too: a queued write back supplies
+			// data like an array copy would, and an invalidating
+			// transaction cancels it before it can be resurrected stale.
+			resp, _, _ = peer.SnoopDemandWB(key, kind)
+		}
 		peer.ReservePort(key, now) // snoop consumes peer tag bandwidth
 		responses = append(responses, coherence.AgentResponse{Agent: peer.ID(), Resp: resp})
 	}
@@ -189,6 +213,9 @@ func (s *System) combineDemand(cache l2Handle, key uint64, kind coherence.TxnKin
 func (s *System) commitUpgrade(cache l2Handle, key uint64, now config.Cycles) {
 	if !cache.State(key).Valid() {
 		s.upgradeRestarts++
+		if s.auditor != nil {
+			s.auditor.OnUpgrade(cache.ID(), key, true)
+		}
 		// Keep the MSHR (with its waiters) but change the kind by
 		// re-allocating after draining.
 		loads, stores := cache.TakeWaiters(key)
@@ -203,6 +230,9 @@ func (s *System) commitUpgrade(cache l2Handle, key uint64, now config.Cycles) {
 		return
 	}
 	s.upgrades++
+	if s.auditor != nil {
+		s.auditor.OnUpgrade(cache.ID(), key, false)
+	}
 	cache.SetState(key, coherence.Modified)
 	loads, stores := cache.TakeWaiters(key)
 	for _, w := range loads {
@@ -239,6 +269,9 @@ func (s *System) commitFill(cache l2Handle, key uint64, kind coherence.TxnKind, 
 	vKey, vState, evicted := cache.InstallFill(key, st)
 	if evicted {
 		s.handleVictim(cache, vKey, vState, now)
+	}
+	if s.auditor != nil {
+		s.auditor.OnFill(cache.ID(), key, kind, st, out)
 	}
 
 	// Data movement: the source access runs first; the data ring is
@@ -307,6 +340,9 @@ func (s *System) completeFill(cache l2Handle, key uint64, kind coherence.TxnKind
 		}
 	case coherence.Exclusive:
 		cache.SetState(key, coherence.Modified)
+		if s.auditor != nil {
+			s.auditor.OnStoreHit(cache.ID(), key)
+		}
 		for _, w := range stores {
 			w(at)
 		}
@@ -336,6 +372,9 @@ func (s *System) handleVictim(cache l2Handle, vKey uint64, vState coherence.Stat
 	action := cache.ProcessVictim(vKey, vState, wbhtActive, inL3)
 	if s.tracer != nil {
 		s.tracer.Victim(now, cache.ID(), vKey, vState.String(), action.String(), inL3)
+	}
+	if s.auditor != nil {
+		s.auditor.OnVictim(cache.ID(), vKey, vState, action == l2VictimQueued)
 	}
 	if action == l2VictimQueued {
 		s.reuse.recordAttempt(vKey)

@@ -13,7 +13,7 @@ func (s *System) Attach(p *metrics.Probe) {
 	s.probe = p
 	s.tracer = p.Trace()
 	p.Bind(s.sampleMetrics)
-	s.engine.SetTick(p.Tick)
+	s.installTick()
 }
 
 // sampleMetrics copies the system's cumulative counters and occupancy

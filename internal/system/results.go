@@ -118,6 +118,17 @@ type Results struct {
 	UpgradeRestarts uint64
 	SnarfFallbacks  uint64
 
+	// End-of-run residuals: resources still held when the engine
+	// drained. System teardown does not flush anything — a drained
+	// event queue with completed threads already implies the write-back
+	// pump and L3 queue have emptied — so Results reports the residual
+	// counts explicitly and the audit checker asserts they are zero
+	// (see DESIGN.md §12).
+	ResidualMSHRs         int
+	ResidualWBQueued      int
+	ResidualWBInFlight    int
+	ResidualL3QueueTokens int
+
 	// EventsFired counts discrete events executed by the engine during
 	// the run — the denominator for the events/sec throughput metric
 	// tracked in BENCH_core.json.
@@ -182,7 +193,16 @@ func (s *System) results() *Results {
 		UpgradeRestarts: s.upgradeRestarts,
 		SnarfFallbacks:  s.snarfFallbacks,
 
+		ResidualL3QueueTokens: s.l3.QueueInUse(),
+
 		EventsFired: s.engine.Fired(),
+	}
+	for i, c := range s.l2s {
+		r.ResidualMSHRs += c.MSHRCount()
+		r.ResidualWBQueued += c.WBQueueLen()
+		if s.wbInFlight[i] {
+			r.ResidualWBInFlight++
+		}
 	}
 	if s.probe != nil {
 		r.Metrics = s.probe.Finish(elapsed)

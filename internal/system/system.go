@@ -17,6 +17,7 @@ package system
 import (
 	"fmt"
 
+	"cmpcache/internal/audit"
 	"cmpcache/internal/coherence"
 	"cmpcache/internal/config"
 	"cmpcache/internal/core"
@@ -87,6 +88,10 @@ type System struct {
 	probe  *metrics.Probe
 	tracer *metrics.TraceWriter
 
+	// auditor, when attached, is the shadow invariant checker (nil in
+	// normal runs — hook sites pay one nil check each).
+	auditor *audit.Auditor
+
 	// System-level counters (component-level ones live in the
 	// components).
 	fillsFromPeer   uint64
@@ -153,7 +158,7 @@ func New(cfg config.Config, tr *trace.Trace) (*System, error) {
 	s.hFinishWB = func(d sim.EventData) { s.finishWB(int(d.Key)) }
 	s.hWBArriveL3 = s.wbArriveL3
 	s.hRetireL3Write = func(d sim.EventData) { s.retireL3Write(d.Key, coherence.TxnKind(d.Kind)) }
-	s.hReleaseL3Token = func(sim.EventData) { s.l3.ReleaseToken() }
+	s.hReleaseL3Token = func(sim.EventData) { s.releaseL3Token() }
 
 	streams := tr.PerThread()
 	// Pad to the chip's thread count so thread->L2 mapping stays fixed.
@@ -197,6 +202,9 @@ func (s *System) Run() *Results {
 	s.engine.Run()
 	if !s.threads.Done() {
 		panic(fmt.Sprintf("system: engine drained with %d accesses outstanding", s.threads.Outstanding()))
+	}
+	if s.auditor != nil {
+		s.auditor.Drain(s.engine.Now())
 	}
 	return s.results()
 }

@@ -93,6 +93,9 @@ func (s *System) combineWB(cache l2Handle, key uint64, kind coherence.TxnKind, s
 	// held and must be released before this transaction retires (unless
 	// sendToL3 takes over the obligation).
 	l3Accepted := l3resp == coherence.RespWBAccept
+	if l3Accepted && s.auditor != nil {
+		s.auditor.OnTokenAcquired()
+	}
 
 	// The WBHT learns from the L3's snoop response to clean write backs
 	// (Section 2, step 3) — on the writing L2's table, or on every
@@ -125,8 +128,11 @@ func (s *System) combineWB(cache l2Handle, key uint64, kind coherence.TxnKind, s
 		// A demand access reclaimed the line while this transaction was
 		// on the bus: ignore the outcome entirely.
 		s.wbCancelled++
+		if s.auditor != nil {
+			s.auditor.OnWBCancelled(cache.ID(), key, out.WBSnarfed)
+		}
 		if l3Accepted {
-			s.l3.ReleaseToken()
+			s.releaseL3Token()
 		}
 		s.finishWB(cache.ID())
 
@@ -141,15 +147,29 @@ func (s *System) combineWB(cache l2Handle, key uint64, kind coherence.TxnKind, s
 			s.wbSquashedByL3++
 		} else {
 			s.wbSquashedPeer++
-			if kind == coherence.DirtyWB && peerSquasher != nil {
-				// Our dirty data dies with the squash; the squashing peer
-				// holds an identical copy and inherits the write-back
-				// obligation.
-				peerSquasher.TakeWBObligation(key)
+			if peerSquasher != nil {
+				if kind == coherence.DirtyWB {
+					// Our dirty data dies with the squash; the squashing
+					// peer holds an identical copy and inherits the
+					// write-back obligation.
+					peerSquasher.TakeWBObligation(key)
+				} else if entry.State == coherence.SharedLast {
+					// The designated clean supplier just left the chip's
+					// L2s; hand the supplier role to the squasher so the
+					// remaining sharers keep an intervention source.
+					peerSquasher.TakeSupplierRole(key)
+				}
 			}
 		}
+		if s.auditor != nil {
+			squasher := -1
+			if peerSquasher != nil && !out.SquashedByL3 {
+				squasher = peerSquasher.ID()
+			}
+			s.auditor.OnWBSquashed(cache.ID(), entry, out.SquashedByL3, squasher)
+		}
 		if l3Accepted {
-			s.l3.ReleaseToken()
+			s.releaseL3Token()
 		}
 		s.finishWB(cache.ID())
 
@@ -158,6 +178,9 @@ func (s *System) combineWB(cache l2Handle, key uint64, kind coherence.TxnKind, s
 
 	case out.WBToL3:
 		s.wbToL3++
+		if s.auditor != nil {
+			s.auditor.OnWBToL3(cache.ID(), entry)
+		}
 		s.reuse.recordAccepted(key)
 		s.sendToL3(key, kind, now) // token released by sendToL3's completion
 		s.finishWB(cache.ID())
@@ -186,11 +209,15 @@ func (s *System) retryWB(cache l2Handle, entry l2.WBEntry, now config.Cycles) {
 // load-bearing: dropping the entry here would silently lose a dirty
 // line.
 func (s *System) settleSnarf(cache l2Handle, entry l2.WBEntry, winner l2Handle, l3Accepted bool, now config.Cycles) {
+	displaced, dropped, accepted := winner.AcceptSnarf(entry)
 	switch {
-	case winner.AcceptSnarf(entry):
+	case accepted:
 		s.wbSnarfed++
+		if s.auditor != nil {
+			s.auditor.OnWBSnarfed(cache.ID(), entry, winner.ID(), displaced, dropped)
+		}
 		if l3Accepted {
-			s.l3.ReleaseToken()
+			s.releaseL3Token()
 		}
 		// The line moves L2-to-L2 across the data ring.
 		s.ring.ReserveData(now)
@@ -198,6 +225,9 @@ func (s *System) settleSnarf(cache l2Handle, entry l2.WBEntry, winner l2Handle, 
 		s.snarfFallbacks++
 		if s.tracer != nil {
 			s.tracer.WriteBack(now, cache.ID(), entry.Key, entry.Kind.String(), "snarf-fallback", entry.Snarfable)
+		}
+		if s.auditor != nil {
+			s.auditor.OnWBToL3(cache.ID(), entry)
 		}
 		s.reuse.recordAccepted(entry.Key)
 		s.sendToL3(entry.Key, entry.Kind, now)
@@ -260,7 +290,11 @@ func (s *System) wbArriveL3(d sim.EventData) {
 // memory, and frees the incoming-queue token.
 func (s *System) retireL3Write(key uint64, kind coherence.TxnKind) {
 	s.everInL3[key] = struct{}{}
-	if _, castout := s.l3.Insert(key, kind); castout {
+	co, castout := s.l3.Insert(key, kind)
+	if s.auditor != nil {
+		s.auditor.OnL3Retire(key, kind, co.Key, castout)
+	}
+	if castout {
 		// The displaced dirty victim must drain to memory before the
 		// L3's buffer entry frees: under memory pressure this castout
 		// backpressure is what turns an L3-thrashing workload (TP) into
@@ -269,5 +303,5 @@ func (s *System) retireL3Write(key uint64, kind coherence.TxnKind) {
 		s.engine.AtCall(memStart, s.hReleaseL3Token, sim.EventData{})
 		return
 	}
-	s.l3.ReleaseToken()
+	s.releaseL3Token()
 }
