@@ -1,0 +1,252 @@
+// Command cmpreport renders stage-attributed latency reports produced
+// by `cmpsim -lat-out` or `cmpsweep -lat-out` as human-readable
+// markdown: per-class quantile tables, per-stage breakdowns, a
+// critical-path summary naming the stage where the cycles actually go,
+// an ASCII stage-stack chart, and — when several runs are given — the
+// paper's headline comparison of L2-to-L2 intervention fills against
+// L3 fills.
+//
+// A `-trace run.jsonl` flag additionally tabulates the bus-transaction
+// mix from a JSON Lines event trace (`cmpsim -trace-out run.jsonl`) —
+// an independent record stream against which the latency report's
+// per-class populations can be cross-checked.
+//
+// Usage:
+//
+//	cmpsim -workload tp -mechanism snarf -lat-out tp.lat.json
+//	cmpreport tp.lat.json
+//	cmpsweep -workloads all -mechanisms snarf -lat-out lat/
+//	cmpreport -compare lat/*.lat.json
+//	cmpsim -workload tp -lat-out tp.lat.json -trace-out tp.jsonl
+//	cmpreport -trace tp.jsonl tp.lat.json
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"cmpcache/internal/stats"
+	"cmpcache/internal/txlat"
+)
+
+func main() {
+	opts := renderOptions{}
+	flag.BoolVar(&opts.Breakdown, "breakdown", false, "print the full per-stage breakdown table for every class")
+	flag.BoolVar(&opts.Windows, "windows", false, "print the per-window latency series (runs collected with -lat-interval)")
+	flag.IntVar(&opts.Slowest, "slowest", 5, "slowest transactions to list per run (0 = none)")
+	flag.IntVar(&opts.Width, "width", 60, "stage-stack chart width in columns")
+	flag.BoolVar(&opts.CompareOnly, "compare", false, "print only the cross-run intervention-vs-L3 comparison")
+	traceIn := flag.String("trace", "", "also tabulate the bus-transaction mix from this JSON Lines event trace (cmpsim -trace-out run.jsonl)")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "cmpreport: no input files (expected *.lat.json from cmpsim/cmpsweep -lat-out)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	runs := make([]txlat.RunLatency, 0, flag.NArg())
+	for _, path := range flag.Args() {
+		run, err := readRun(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		runs = append(runs, run)
+	}
+	if err := render(os.Stdout, runs, opts); err != nil {
+		fatalf("%v", err)
+	}
+	if *traceIn != "" {
+		f, err := os.Open(*traceIn)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		table, err := traceMix(f, *traceIn)
+		f.Close()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Print(table)
+	}
+}
+
+type renderOptions struct {
+	Breakdown   bool
+	Windows     bool
+	Slowest     int
+	Width       int
+	CompareOnly bool
+}
+
+// readRun parses one -lat-out file.
+func readRun(path string) (txlat.RunLatency, error) {
+	var run txlat.RunLatency
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return run, err
+	}
+	if err := json.Unmarshal(data, &run); err != nil {
+		return run, fmt.Errorf("%s: %w", path, err)
+	}
+	if run.Latency == nil {
+		return run, fmt.Errorf("%s: no latency report (was the run collected with -lat-out?)", path)
+	}
+	return run, nil
+}
+
+// render writes the full report for runs. Runs are sorted by
+// (workload, mechanism, outstanding) so the output is stable under
+// shell-glob argument order.
+func render(w io.Writer, runs []txlat.RunLatency, opts renderOptions) error {
+	sort.SliceStable(runs, func(i, j int) bool {
+		if runs[i].Workload != runs[j].Workload {
+			return runs[i].Workload < runs[j].Workload
+		}
+		if runs[i].Mechanism != runs[j].Mechanism {
+			return runs[i].Mechanism < runs[j].Mechanism
+		}
+		return runs[i].Outstanding < runs[j].Outstanding
+	})
+	if !opts.CompareOnly {
+		for i := range runs {
+			if err := renderRun(w, &runs[i], opts); err != nil {
+				return err
+			}
+		}
+	}
+	table, ratios := txlat.InterventionComparison(runs)
+	if len(ratios) > 0 {
+		if _, err := io.WriteString(w, table); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// renderRun writes one run's tables and charts.
+func renderRun(w io.Writer, run *txlat.RunLatency, opts renderOptions) error {
+	label := fmt.Sprintf("%s/%s out=%d", run.Workload, run.Mechanism, run.Outstanding)
+	rep := run.Latency
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s — %d cycles\n\n", label, run.Cycles)
+	if rep.Dropped > 0 {
+		fmt.Fprintf(&b, "WARNING: %d open records dropped (unhooked protocol path)\n\n", rep.Dropped)
+	}
+	b.WriteString(rep.QuantileTable("Transaction latency quantiles — " + label))
+	b.WriteString("\n")
+	b.WriteString(rep.CriticalPath("Critical path — " + label))
+	b.WriteString("\n")
+	b.WriteString(rep.StageStack("Mean latency by stage — "+label, opts.Width))
+	b.WriteString("\n")
+	if opts.Breakdown {
+		b.WriteString(rep.StageBreakdown("Stage breakdown — " + label))
+	}
+	if opts.Windows && len(rep.Windows) > 0 {
+		b.WriteString(rep.WindowTable("Latency by window — " + label))
+		b.WriteString("\n")
+	}
+	if opts.Slowest > 0 && len(rep.Slowest) > 0 {
+		b.WriteString(slowestTable(rep, label, opts.Slowest))
+		b.WriteString("\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// slowestTable renders the top-n entries of the slowest-transactions
+// reservoir with their dominant stage.
+func slowestTable(rep *txlat.Report, label string, n int) string {
+	t := stats.NewTable("Slowest transactions — "+label,
+		"class", "l2", "key", "start", "total", "dominant stage")
+	for i, tx := range rep.Slowest {
+		if i >= n {
+			break
+		}
+		class := tx.Kind + "/" + tx.Outcome
+		if tx.SwitchActive {
+			class += " [switch]"
+		}
+		domStage, domCycles := "", uint64(0)
+		for st, v := range tx.Stages {
+			if v > domCycles || (v == domCycles && st < domStage) {
+				domStage, domCycles = st, v
+			}
+		}
+		t.AddRowf(class, tx.L2, fmt.Sprintf("%#x", tx.Key), uint64(tx.Start), tx.Total,
+			fmt.Sprintf("%s (%d)", domStage, domCycles))
+	}
+	return t.Markdown()
+}
+
+// traceMix tabulates a JSON Lines event trace into the bus-transaction
+// mix: demand combines by kind x fill source and write-back combines by
+// kind x disposition. These counts come from the tracer's independent
+// record stream, so they cross-check the latency report's per-class
+// populations (demand rows match fill groups exactly; write-back rows
+// count bus combines, so the latency report's cancelled class can
+// additionally include queue-side reclaims that never reached the bus).
+func traceMix(r io.Reader, name string) (string, error) {
+	type rec struct {
+		Ev   string `json:"ev"`
+		Kind string `json:"kind"`
+		Src  string `json:"src"`
+		Out  string `json:"out"`
+	}
+	type mixKey struct{ ev, kind, class string }
+	counts := map[mixKey]uint64{}
+	order := []mixKey{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var e rec
+		if err := json.Unmarshal(line, &e); err != nil {
+			return "", fmt.Errorf("%s: %w (is this a .jsonl trace? Chrome trace_event files are not line-delimited)", name, err)
+		}
+		var k mixKey
+		switch e.Ev {
+		case "demand":
+			k = mixKey{"demand", e.Kind, e.Src}
+		case "wb":
+			k = mixKey{"wb", e.Kind, e.Out}
+		default:
+			continue
+		}
+		if _, ok := counts[k]; !ok {
+			order = append(order, k)
+		}
+		counts[k]++
+	}
+	if err := sc.Err(); err != nil {
+		return "", fmt.Errorf("%s: %w", name, err)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if a.ev != b.ev {
+			return a.ev < b.ev // demand before wb
+		}
+		if a.kind != b.kind {
+			return a.kind < b.kind
+		}
+		return a.class < b.class
+	})
+	t := stats.NewTable("Bus-transaction mix — "+name, "event", "kind", "source/disposition", "n")
+	for _, k := range order {
+		t.AddRowf(k.ev, k.kind, k.class, counts[k])
+	}
+	return t.Markdown(), nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cmpreport: "+format+"\n", args...)
+	os.Exit(1)
+}

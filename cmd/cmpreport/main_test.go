@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cmpcache/internal/txlat"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files with the current output")
+
+// TestRenderGolden locks the full report rendering against a checked-in
+// fixture (tp/snarf, 6000 refs/thread, collected with -lat-out). The
+// simulator is deterministic and the renderer sorts everything it
+// emits, so the byte-exact output is a stable contract; regenerate with
+// `go test ./cmd/cmpreport -update` after an intentional format change.
+func TestRenderGolden(t *testing.T) {
+	run, err := readRun(filepath.Join("testdata", "tp.lat.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	opts := renderOptions{Breakdown: true, Slowest: 5, Width: 60}
+	if err := render(&buf, []txlat.RunLatency{run}, opts); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "tp.golden.md")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/cmpreport -update` to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("render output diverged from %s (%d vs %d bytes); run with -update if intentional",
+			golden, buf.Len(), len(want))
+	}
+}
+
+// TestReadRunRejectsEmpty guards the error path for files without a
+// latency payload.
+func TestReadRunRejectsEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.lat.json")
+	if err := os.WriteFile(path, []byte(`{"Workload":"tp"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readRun(path); err == nil {
+		t.Fatal("readRun accepted a file with no latency report")
+	}
+}
+
+// TestTraceMix tabulates a small JSONL stream deterministically.
+func TestTraceMix(t *testing.T) {
+	in := `{"t":1,"ev":"demand","l2":0,"kind":"READ","src":"peer-l2","key":1}
+{"t":2,"ev":"demand","l2":1,"kind":"READ","src":"peer-l2","key":2}
+{"t":3,"ev":"demand","l2":0,"kind":"RWITM","src":"memory","key":3}
+{"t":4,"ev":"wb","l2":0,"kind":"DIRTY_WB","out":"to-l3","key":4}
+{"t":5,"ev":"victim","l2":0,"kind":"","key":5}
+{"t":6,"ev":"sample","window":0}
+`
+	got, err := traceMix(strings.NewReader(in), "test.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"| demand | READ     | peer-l2            | 2 |",
+		"| demand | RWITM    | memory             | 1 |",
+		"| wb     | DIRTY_WB | to-l3              | 1 |",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("mix table missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "victim") || strings.Contains(got, "sample") {
+		t.Errorf("mix table includes non-bus events:\n%s", got)
+	}
+
+	if _, err := traceMix(strings.NewReader(`[{"not":"jsonl"`), "bad"); err == nil {
+		t.Error("traceMix accepted a non-JSONL stream")
+	}
+}

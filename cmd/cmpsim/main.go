@@ -44,6 +44,9 @@ func main() {
 		auditRun     = flag.Bool("audit", false, "attach the shadow invariant checker (coherence, dirty-line conservation, resource credits) and fail on violations")
 		auditDiff    = flag.Bool("audit-differential", true, "with -audit, also run the reference coherence model and diff end states")
 		traceOut     = flag.String("trace-out", "", "write a structured event trace to this file (.jsonl = JSON Lines, otherwise Chrome trace_event viewable in Perfetto)")
+		latOut       = flag.String("lat-out", "", "attach the latency collector and write the stage-attributed report as JSON to this file (- for stdout); feed it to cmpreport")
+		latTopK      = flag.Int("lat-topk", 0, "slowest-transactions reservoir size for -lat-out (0 = default 16)")
+		latInterval  = flag.Int64("lat-interval", 0, "also bin latency quantiles into windows of this many cycles for -lat-out (0 = off)")
 		cpuprofile   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprofile   = flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
 	)
@@ -130,49 +133,67 @@ func main() {
 		fatalf("%v", err)
 	}
 
-	var res *cmpcache.Results
-	auditFailed := false
+	// Every attachment is observation-only, so all of them compose onto
+	// one run.
+	var opts cmpcache.RunOptions
 	if *auditRun {
-		auditor := cmpcache.NewAuditor(cmpcache.AuditConfig{Differential: *auditDiff})
-		res, err = cmpcache.RunAudited(cfg, tr, auditor)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		fmt.Fprint(os.Stderr, auditor.Summary())
-		auditFailed = !auditor.Ok()
-	} else if *metricsOut != "" || *traceOut != "" {
-		probe := cmpcache.NewMetricsProbe(cmpcache.MetricsConfig{
+		opts.Auditor = cmpcache.NewAuditor(cmpcache.AuditConfig{Differential: *auditDiff})
+	}
+	var tw *metrics.TraceWriter
+	var tf *os.File
+	if *metricsOut != "" || *traceOut != "" {
+		opts.Probe = cmpcache.NewMetricsProbe(cmpcache.MetricsConfig{
 			Interval: config.Cycles(*metricsIval),
 		})
-		var tw *metrics.TraceWriter
-		var tf *os.File
 		if *traceOut != "" {
 			tf, err = os.Create(*traceOut)
 			if err != nil {
 				fatalf("%v", err)
 			}
 			tw = metrics.NewTraceWriter(tf, metrics.FormatForPath(*traceOut))
-			probe.SetTrace(tw)
+			opts.Probe.SetTrace(tw)
 		}
-		res, err = cmpcache.RunWithProbe(cfg, tr, probe)
-		if tw != nil {
-			if cerr := tw.Close(); cerr != nil {
-				fatalf("trace-out: %v", cerr)
-			}
-			if cerr := tf.Close(); cerr != nil {
-				fatalf("trace-out: %v", cerr)
-			}
+	}
+	if *latOut != "" {
+		opts.Latency = cmpcache.NewLatencyCollector(cmpcache.LatencyConfig{
+			TopK:     *latTopK,
+			Interval: config.Cycles(*latInterval),
+		})
+	}
+
+	res, err := cmpcache.RunWith(cfg, tr, opts)
+	if tw != nil {
+		if cerr := tw.Close(); cerr != nil {
+			fatalf("trace-out: %v", cerr)
 		}
-		if err == nil && *metricsOut != "" {
-			if werr := writeSeries(*metricsOut, res.Metrics); werr != nil {
-				fatalf("metrics-out: %v", werr)
-			}
+		if cerr := tf.Close(); cerr != nil {
+			fatalf("trace-out: %v", cerr)
 		}
-	} else {
-		res, err = cmpcache.Run(cfg, tr)
 	}
 	if err != nil {
 		fatalf("%v", err)
+	}
+	auditFailed := false
+	if opts.Auditor != nil {
+		fmt.Fprint(os.Stderr, opts.Auditor.Summary())
+		auditFailed = !opts.Auditor.Ok()
+	}
+	if *metricsOut != "" {
+		if werr := writeSeries(*metricsOut, res.Metrics); werr != nil {
+			fatalf("metrics-out: %v", werr)
+		}
+	}
+	if *latOut != "" {
+		run := cmpcache.RunLatencyFile{
+			Workload:    tr.Name,
+			Mechanism:   cfg.Mechanism.String(),
+			Outstanding: cfg.MaxOutstanding,
+			Cycles:      res.Cycles,
+			Latency:     res.Latency,
+		}
+		if werr := writeJSON(*latOut, &run); werr != nil {
+			fatalf("lat-out: %v", werr)
+		}
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -192,6 +213,11 @@ func main() {
 
 // writeSeries exports the interval series as indented JSON.
 func writeSeries(path string, series *metrics.Series) error {
+	return writeJSON(path, series)
+}
+
+// writeJSON writes v as indented JSON to path ("-" for stdout).
+func writeJSON(path string, v any) error {
 	w := os.Stdout
 	if path != "-" {
 		f, err := os.Create(path)
@@ -203,7 +229,7 @@ func writeSeries(path string, series *metrics.Series) error {
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(series)
+	return enc.Encode(v)
 }
 
 func loadTrace(path, workloadName string, refs int) (*cmpcache.Trace, error) {

@@ -31,6 +31,7 @@ import (
 	"cmpcache/internal/metrics"
 	"cmpcache/internal/stats"
 	"cmpcache/internal/sweep"
+	"cmpcache/internal/txlat"
 )
 
 func main() {
@@ -44,8 +45,10 @@ func main() {
 		timeout     = flag.Duration("timeout", 0, "per-job wall-clock timeout (0 = none)")
 		jsonOut     = flag.String("json", "", "write full results as JSON to this file (- for stdout)")
 		csvOut      = flag.String("csv", "", "write result rows as CSV to this file (- for stdout)")
-		metricsOut  = flag.String("metrics-out", "", "write one per-interval metrics series JSON file per job into this directory")
+		metricsOut  = flag.String("metrics-out", "", "write one per-interval metrics series JSON file per job (plus a summary.json roll-up) into this directory")
 		metricsIval = flag.Int64("metrics-interval", 0, "metrics sampling window in cycles (0 = 1M, the paper's retry window)")
+		latOut      = flag.String("lat-out", "", "write one stage-attributed latency report JSON file per job into this directory; feed them to cmpreport")
+		latTopK     = flag.Int("lat-topk", 0, "slowest-transactions reservoir size for -lat-out (0 = default 16)")
 		quiet       = flag.Bool("q", false, "suppress the progress lines on stderr")
 		cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 		memprofile  = flag.String("memprofile", "", "write a pprof heap profile (after the sweep) to this file")
@@ -108,6 +111,12 @@ func main() {
 			fatalf("%v", err)
 		}
 	}
+	if *latOut != "" {
+		opts.Latency = &txlat.Config{TopK: *latTopK}
+		if err := os.MkdirAll(*latOut, 0o755); err != nil {
+			fatalf("%v", err)
+		}
+	}
 	if !*quiet {
 		opts.Progress = func(p sweep.Progress) {
 			status := fmt.Sprintf("%6.1fs", p.Duration.Seconds())
@@ -143,6 +152,11 @@ func main() {
 	}
 	if *metricsOut != "" {
 		if err := writeSeriesDir(*metricsOut, results); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if *latOut != "" {
+		if err := writeLatencyDir(*latOut, results); err != nil {
 			fatalf("%v", err)
 		}
 	}
@@ -194,8 +208,10 @@ func printTable(w io.Writer, results []sweep.Result, elapsed time.Duration) erro
 }
 
 // writeSeriesDir writes one <job-slug>.json per successful job, each
-// holding the job identity and its interval series. Deduplicated jobs
-// map to the same slug and content, so rewrites are harmless.
+// holding the job identity and its interval series, plus a summary.json
+// rolling every job's series up into comparable totals/peaks/means.
+// Deduplicated jobs map to the same slug and content, so rewrites are
+// harmless.
 func writeSeriesDir(dir string, results []sweep.Result) error {
 	for _, r := range results {
 		if r.Err != nil || r.Results == nil || r.Results.Metrics == nil {
@@ -213,7 +229,38 @@ func writeSeriesDir(dir string, results []sweep.Result) error {
 			return err
 		}
 	}
+	return writeIndented(filepath.Join(dir, "summary.json"), sweep.Summarize(results))
+}
+
+// writeLatencyDir writes one <job-slug>.lat.json per successful job in
+// the cmpsim -lat-out format, ready for cmpreport.
+func writeLatencyDir(dir string, results []sweep.Result) error {
+	for _, r := range results {
+		if r.Err != nil || r.Results == nil || r.Results.Latency == nil {
+			continue
+		}
+		run := txlat.RunLatency{
+			Workload:    r.Job.Workload,
+			Mechanism:   r.Job.Mechanism.String(),
+			Outstanding: r.Job.Config().MaxOutstanding,
+			Cycles:      r.Results.Cycles,
+			Latency:     r.Results.Latency,
+		}
+		path := filepath.Join(dir, jobSlug(r.Job)+".lat.json")
+		if err := writeIndented(path, &run); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// writeIndented writes v as indented JSON to path.
+func writeIndented(path string, v any) error {
+	out, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
 // jobSlug renders a job as a filesystem-safe file stem.

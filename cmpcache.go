@@ -37,6 +37,7 @@ import (
 	"cmpcache/internal/metrics"
 	"cmpcache/internal/system"
 	"cmpcache/internal/trace"
+	"cmpcache/internal/txlat"
 	"cmpcache/internal/workload"
 )
 
@@ -144,6 +145,57 @@ func RunAudited(cfg Config, tr *Trace, a *Auditor) (*Results, error) {
 		return nil, err
 	}
 	s.AttachAuditor(a)
+	return s.Run(), nil
+}
+
+// LatencyCollector is the per-transaction latency attribution layer of
+// internal/txlat: attached to a run, it stamps every demand miss and
+// write back at its lifecycle stages and accumulates per-stage cycles
+// into quantile histograms keyed by (transaction kind × outcome ×
+// mechanism state), plus a top-K slowest-transactions reservoir.
+type LatencyCollector = txlat.Collector
+
+// LatencyConfig parameterizes a LatencyCollector.
+type LatencyConfig = txlat.Config
+
+// LatencyReport is the collector's frozen output; Results.Latency
+// carries it after a run with a collector attached.
+type LatencyReport = txlat.Report
+
+// RunLatencyFile is the JSON file format written by `cmpsim -lat-out`
+// and consumed by cmpreport.
+type RunLatencyFile = txlat.RunLatency
+
+// NewLatencyCollector returns an unattached latency collector.
+func NewLatencyCollector(cfg LatencyConfig) *LatencyCollector { return txlat.New(cfg) }
+
+// RunOptions bundles the observation-only attachments a run can carry;
+// any subset (including none) may be set, and all compose.
+type RunOptions struct {
+	Probe   *MetricsProbe
+	Auditor *Auditor
+	Latency *LatencyCollector
+}
+
+// RunWith simulates tr with every attachment in opts installed. The
+// simulated outcome is identical to Run — all attachments are
+// observation-only; Results.Metrics and Results.Latency carry the probe
+// series and latency report, and the auditor is inspected afterward via
+// its own methods.
+func RunWith(cfg Config, tr *Trace, opts RunOptions) (*Results, error) {
+	s, err := system.New(cfg, tr)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Probe != nil {
+		s.Attach(opts.Probe)
+	}
+	if opts.Auditor != nil {
+		s.AttachAuditor(opts.Auditor)
+	}
+	if opts.Latency != nil {
+		s.AttachLatency(opts.Latency)
+	}
 	return s.Run(), nil
 }
 

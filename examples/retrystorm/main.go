@@ -1,5 +1,6 @@
 // Retry-storm example: watch the WBHT's adaptive retry switch track an
-// L3 retry storm in time, using the metrics probe's interval series.
+// L3 retry storm in time, using the metrics probe's interval series and
+// the latency collector's per-window quantiles.
 //
 // The TP workload at 6 outstanding misses per thread floods the L3's
 // incoming queue with write backs; the rejected ones retry, and the
@@ -10,6 +11,13 @@
 // exactly that window makes the series line up with the switch's own
 // decisions: the chart below shows the retry rate spiking, the switch
 // engaging one window later, and the WBHT then thinning the storm.
+//
+// A windowed latency collector rides the same run at the same window,
+// so each chart row also carries that window's write-back p99 — the
+// queueing delay the storm inflicts — and a final per-stage table
+// splits write-back latency by switch state to show where those cycles
+// sit (the wb_queue and wb_retry stages) and how the stages move when
+// the switch flips.
 //
 //	go run ./examples/retrystorm
 //	go run ./examples/retrystorm -metrics-out series.json -trace-out storm.trace
@@ -29,6 +37,7 @@ import (
 
 	"cmpcache"
 	"cmpcache/internal/metrics"
+	"cmpcache/internal/stats"
 )
 
 func main() {
@@ -45,8 +54,11 @@ func main() {
 	cfg.MaxOutstanding = 6
 
 	// Sample at the switch's own observation window so each row of the
-	// series is one switch decision period.
+	// series is one switch decision period; the latency collector bins
+	// its quantiles at the same window so the two series line up row
+	// for row.
 	probe := cmpcache.NewMetricsProbe(cmpcache.MetricsConfig{Interval: cfg.WBHT.RetryWindow})
+	lat := cmpcache.NewLatencyCollector(cmpcache.LatencyConfig{Interval: cfg.WBHT.RetryWindow})
 	var tw *metrics.TraceWriter
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -58,7 +70,7 @@ func main() {
 		probe.SetTrace(tw)
 	}
 
-	res, err := cmpcache.RunWithProbe(cfg, tr, probe)
+	res, err := cmpcache.RunWith(cfg, tr, cmpcache.RunOptions{Probe: probe, Latency: lat})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -89,7 +101,17 @@ func main() {
 	const width = 50
 	threshCol := int(cfg.WBHT.RetryThreshold * width / peak)
 
-	fmt.Println("window |   cycles | wb retries | switch | consults")
+	// The latency collector's windows align with the probe's samples by
+	// construction (same interval, same engine); index them by window id
+	// anyway so a missing final partial on either side cannot skew rows.
+	wbP99 := map[int]float64{}
+	if res.Latency != nil {
+		for _, w := range res.Latency.Windows {
+			wbP99[w.Window] = w.WriteBack.P99
+		}
+	}
+
+	fmt.Println("window |   cycles | wb retries | switch | consults | wb p99")
 	for _, s := range res.Metrics.Samples {
 		bar := strings.Repeat("#", int(s.WBRetried*width/peak))
 		// Mark the switch threshold inside the bar lane.
@@ -101,8 +123,8 @@ func main() {
 		if s.SwitchActive {
 			state = "   ON"
 		}
-		fmt.Printf("%6d | %8d | %10d | %s  | %8d  %s\n",
-			s.Window, s.End, s.WBRetried, state, s.WBHTConsults, lane)
+		fmt.Printf("%6d | %8d | %10d | %s  | %8d | %6.0f  %s\n",
+			s.Window, s.End, s.WBRetried, state, s.WBHTConsults, wbP99[s.Window], lane)
 	}
 
 	fmt.Printf("\nrun total: %d cycles, %d write-back retries, switch active %d of %d windows\n",
@@ -110,6 +132,59 @@ func main() {
 	fmt.Printf("WBHT: %d consults, %d write backs aborted (%.1f%% of consults)\n",
 		res.WBHT.Consults, res.WBHT.Hits,
 		100*float64(res.WBHT.Hits)/max1(res.WBHT.Consults))
+
+	if res.Latency != nil {
+		fmt.Println()
+		fmt.Print(stageP99BySwitch(res.Latency))
+	}
+}
+
+// stageP99BySwitch tabulates write-back per-stage p99 latency with the
+// retry switch off versus on, pooling the write-back classes that occur
+// in both states. The wb_queue and wb_retry rows are where the storm's
+// queueing delay lives; the table shows how they move when the switch
+// flips and the WBHT starts thinning the write-back stream.
+func stageP99BySwitch(rep *cmpcache.LatencyReport) string {
+	type cell struct{ off, on float64 }
+	stages := map[string]*cell{}
+	order := []string{}
+	var totals cell
+	for _, g := range rep.Groups {
+		if !g.WriteBack {
+			continue
+		}
+		for _, s := range g.Stages {
+			c := stages[s.Stage]
+			if c == nil {
+				c = &cell{}
+				stages[s.Stage] = c
+				order = append(order, s.Stage)
+			}
+			// Keep the worst class per stage and state: the overlay is
+			// about where delay can pool, not an average.
+			if g.SwitchActive {
+				if s.P99 > c.on {
+					c.on = s.P99
+				}
+			} else if s.P99 > c.off {
+				c.off = s.P99
+			}
+		}
+		if g.SwitchActive {
+			if g.Total.P99 > totals.on {
+				totals.on = g.Total.P99
+			}
+		} else if g.Total.P99 > totals.off {
+			totals.off = g.Total.P99
+		}
+	}
+	t := stats.NewTable("Write-back stage p99 by retry-switch state (worst class per stage)",
+		"stage", "switch off p99", "switch ON p99")
+	for _, st := range order {
+		t.AddRowf(st, stages[st].off, stages[st].on)
+	}
+	t.AddRowf("total", totals.off, totals.on)
+	return t.Markdown()
 }
 
 func writeJSON(path string, v any) error {

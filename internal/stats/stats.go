@@ -145,19 +145,133 @@ func (h *Histogram) Buckets() []uint64 {
 	return out
 }
 
+// Reset empties the histogram, keeping the bucket storage for reuse
+// (windowed collectors reset once per interval without reallocating).
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i] = 0
+	}
+	h.count, h.sum, h.max = 0, 0, 0
+}
+
+// Quantile returns an estimate of the q-th quantile (q in [0,1]) of the
+// observed samples. The estimate locates the log bucket holding the
+// ceil(q*count)-th smallest sample and interpolates linearly inside its
+// [2^(i-1), 2^i) range; within the highest populated bucket it
+// interpolates toward the exact recorded maximum instead of the bucket's
+// upper edge, so Quantile(1) == Max. Zero samples yield exactly 0. An
+// empty histogram returns 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank of the target sample, 1-based: the smallest r with r >= q*count.
+	rank := q * float64(h.count)
+	if rank < 1 {
+		rank = 1
+	}
+	// Highest populated bucket: its upper edge is clamped to the max.
+	top := 0
+	for i, c := range h.buckets {
+		if c > 0 {
+			top = i
+		}
+	}
+	var cum float64
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank > next {
+			cum = next
+			continue
+		}
+		if i == 0 {
+			return 0 // bucket 0 holds exact zeros
+		}
+		lo := float64(uint64(1) << (i - 1))
+		hi := lo * 2
+		if i == top {
+			hi = float64(h.max)
+		}
+		if hi < lo {
+			hi = lo
+		}
+		frac := (rank - cum) / float64(c)
+		return lo + frac*(hi-lo)
+	}
+	return float64(h.max)
+}
+
+// Summary is the fixed quantile digest reports are built from.
+type Summary struct {
+	Count uint64
+	Mean  float64
+	P50   float64
+	P90   float64
+	P99   float64
+	Max   uint64
+}
+
+// Summary returns the p50/p90/p99/max digest of the histogram.
+func (h *Histogram) Summary() Summary {
+	return Summary{
+		Count: h.count,
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+		Max:   h.max,
+	}
+}
+
 // String renders the histogram compactly for reports.
 func (h *Histogram) String() string {
 	return fmt.Sprintf("n=%d mean=%.1f max=%d", h.count, h.Mean(), h.max)
 }
 
-// MarshalJSON exports the histogram with stable field names; Buckets[0]
-// counts zero samples and Buckets[i>0] samples in [2^(i-1), 2^i).
+// histogramJSON is the stable wire form of a Histogram; Buckets[0]
+// counts zero samples and Buckets[i>0] samples in [2^(i-1), 2^i). The
+// P50/P90/P99 fields are derived (recomputed on load, ignored by
+// UnmarshalJSON) so exported histograms are useful without
+// reimplementing the bucket interpolation.
+type histogramJSON struct {
+	Count   uint64
+	Sum     uint64
+	Max     uint64
+	Mean    float64
+	P50     float64
+	P90     float64
+	P99     float64
+	Buckets []uint64
+}
+
+// MarshalJSON exports the histogram with stable field names, including
+// the derived p50/p90/p99 quantile estimates.
 func (h Histogram) MarshalJSON() ([]byte, error) {
-	return json.Marshal(struct {
-		Count   uint64
-		Sum     uint64
-		Max     uint64
-		Mean    float64
-		Buckets []uint64
-	}{h.count, h.sum, h.max, h.Mean(), h.Buckets()})
+	return json.Marshal(histogramJSON{
+		Count: h.count, Sum: h.sum, Max: h.max, Mean: h.Mean(),
+		P50: h.Quantile(0.50), P90: h.Quantile(0.90), P99: h.Quantile(0.99),
+		Buckets: h.Buckets(),
+	})
+}
+
+// UnmarshalJSON reconstructs a histogram from its MarshalJSON form. The
+// derived fields (Mean, P50/P90/P99) are recomputed from the bucket
+// counts, not trusted from the input.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var w histogramJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	h.buckets = w.Buckets
+	h.count, h.sum, h.max = w.Count, w.Sum, w.Max
+	return nil
 }

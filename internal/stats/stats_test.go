@@ -2,6 +2,9 @@ package stats
 
 import (
 	"encoding/json"
+	"math"
+	"math/rand"
+	"sort"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -230,5 +233,159 @@ func TestHistogramMarshalJSON(t *testing.T) {
 	}
 	if strings.Contains(string(empty), "null") {
 		t.Fatalf("empty histogram exports null: %s", empty)
+	}
+}
+
+// exactQuantile is the reference quantile over raw samples: the
+// ceil(q*n)-th smallest value (the smallest v with CDF(v) >= q).
+func exactQuantile(samples []uint64, q float64) uint64 {
+	s := append([]uint64(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	rank := int(math.Ceil(q * float64(len(s))))
+	if rank < 1 {
+		rank = 1
+	}
+	return s[rank-1]
+}
+
+// bucketBounds returns the [lo, hi] range of the log bucket that holds
+// v — the maximum error band a bucketed quantile estimate may occupy.
+func bucketBounds(v uint64) (lo, hi float64) {
+	if v == 0 {
+		return 0, 0
+	}
+	i := 0
+	for x := v; x > 0; x >>= 1 {
+		i++
+	}
+	lo = float64(uint64(1) << (i - 1))
+	return lo, lo * 2
+}
+
+func TestHistogramQuantileExact(t *testing.T) {
+	// Cases where the bucket interpolation is exact by construction.
+	var zeros Histogram
+	for i := 0; i < 10; i++ {
+		zeros.Observe(0)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := zeros.Quantile(q); got != 0 {
+			t.Errorf("all-zero Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+
+	// Quantile(1) is always the exact recorded maximum.
+	var h Histogram
+	for _, v := range []uint64{3, 17, 950, 12, 1, 7} {
+		h.Observe(v)
+	}
+	if got := h.Quantile(1); got != 950 {
+		t.Errorf("Quantile(1) = %v, want exact max 950", got)
+	}
+
+	// A single sample: every quantile is that sample (it is the top
+	// bucket, whose upper edge clamps to the max).
+	var one Histogram
+	one.Observe(100)
+	if got := one.Quantile(0.5); got > 100 || got < 64 {
+		t.Errorf("single-sample Quantile(0.5) = %v, want within [64,100]", got)
+	}
+	if got := one.Quantile(1); got != 100 {
+		t.Errorf("single-sample Quantile(1) = %v, want 100", got)
+	}
+
+	// Empty histogram.
+	if got := (&Histogram{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile(0.5) = %v, want 0", got)
+	}
+}
+
+func TestHistogramQuantileWithinBucketOfReference(t *testing.T) {
+	// Against exact reference quantiles computed from the raw samples,
+	// the log-bucketed estimate must always land inside the bucket range
+	// of the reference value — the scheme's guaranteed error bound.
+	rng := rand.New(rand.NewSource(42))
+	cases := [][]uint64{
+		{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+		{20, 20, 20, 20, 431, 431, 900, 900, 900, 4000},
+	}
+	long := make([]uint64, 0, 5000)
+	for i := 0; i < 5000; i++ {
+		long = append(long, uint64(rng.Intn(2000)))
+	}
+	cases = append(cases, long)
+
+	for ci, samples := range cases {
+		var h Histogram
+		for _, v := range samples {
+			h.Observe(v)
+		}
+		for _, q := range []float64{0.1, 0.5, 0.9, 0.99, 1} {
+			ref := exactQuantile(samples, q)
+			lo, hi := bucketBounds(ref)
+			got := h.Quantile(q)
+			if got < lo || got > hi {
+				t.Errorf("case %d: Quantile(%v) = %v outside bucket [%v,%v] of exact %d",
+					ci, q, got, lo, hi, ref)
+			}
+		}
+		// Monotonicity in q.
+		prev := -1.0
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := h.Quantile(q)
+			if v < prev {
+				t.Fatalf("case %d: Quantile not monotone at q=%v: %v < %v", ci, q, v, prev)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestHistogramSummaryAndReset(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{10, 20, 30, 40, 1000} {
+		h.Observe(v)
+	}
+	s := h.Summary()
+	if s.Count != 5 || s.Max != 1000 || s.Mean != h.Mean() {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if s.P50 != h.Quantile(0.5) || s.P90 != h.Quantile(0.9) || s.P99 != h.Quantile(0.99) {
+		t.Fatalf("Summary quantiles disagree with Quantile: %+v", s)
+	}
+	if s.P50 > s.P90 || s.P90 > s.P99 || s.P99 > float64(s.Max) {
+		t.Fatalf("Summary quantiles not ordered: %+v", s)
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 || h.Quantile(0.99) != 0 {
+		t.Fatalf("Reset left state behind: %+v", h.Summary())
+	}
+	h.Observe(7)
+	if h.Count() != 1 || h.Max() != 7 {
+		t.Fatal("histogram unusable after Reset")
+	}
+}
+
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 1, 5, 77, 431, 9000} {
+		h.Observe(v)
+	}
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"P99"`) {
+		t.Fatalf("export carries no quantile block: %s", data)
+	}
+	var back Histogram
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Count() != h.Count() || back.Sum() != h.Sum() || back.Max() != h.Max() {
+		t.Fatalf("round trip lost counts: %v vs %v", back.Summary(), h.Summary())
+	}
+	if back.Quantile(0.99) != h.Quantile(0.99) {
+		t.Fatalf("round trip changed quantiles: %v vs %v", back.Quantile(0.99), h.Quantile(0.99))
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"cmpcache/internal/metrics"
 	"cmpcache/internal/system"
 	"cmpcache/internal/trace"
+	"cmpcache/internal/txlat"
 	"cmpcache/internal/workload"
 )
 
@@ -22,6 +23,13 @@ type Simulator struct {
 	// carries the per-interval series. Zero leaves runs unprobed (the
 	// zero-overhead default). Set before the sweep starts.
 	MetricsInterval config.Cycles
+
+	// Latency, when non-nil, attaches a per-transaction latency
+	// collector configured by it to every run; each Result's
+	// Results.Latency then carries the stage-attributed report.
+	// Collectors are per-run state, so reports are identical at any
+	// worker count. Set before the sweep starts.
+	Latency *txlat.Config
 
 	mu     sync.Mutex
 	traces map[traceKey]*traceEntry
@@ -95,6 +103,9 @@ func (s *Simulator) Run(ctx context.Context, j Job) (*system.Results, error) {
 	}
 	if s.MetricsInterval > 0 {
 		sys.Attach(metrics.NewProbe(metrics.Config{Interval: s.MetricsInterval}))
+	}
+	if s.Latency != nil {
+		sys.AttachLatency(txlat.New(*s.Latency))
 	}
 	return sys.Run(), nil
 }

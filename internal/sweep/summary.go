@@ -1,0 +1,97 @@
+package sweep
+
+import (
+	"cmpcache/internal/metrics"
+)
+
+// SeriesSummary is the per-job roll-up of an interval metrics series:
+// window-count totals for the retry/write-back counters, peaks of the
+// occupancy gauges, span-weighted mean ring utilizations, and how many
+// windows closed with the retry switch active. `cmpsweep -metrics-out`
+// writes one of these per successful job into summary.json so a grid's
+// worth of series can be compared without re-parsing every per-job
+// file.
+type SeriesSummary struct {
+	Job     Job    `json:"job"`
+	Windows int    `json:"windows"`
+	Cycles  uint64 `json:"cycles"` // span covered by the series
+
+	// Counter totals (sum of per-window deltas).
+	Retries    uint64 `json:"retries"`
+	WBRetried  uint64 `json:"wb_retried"`
+	WBIssued   uint64 `json:"wb_issued"`
+	DemandTxns uint64 `json:"demand_txns"`
+	FillsPeer  uint64 `json:"fills_peer"`
+	FillsL3    uint64 `json:"fills_l3"`
+	FillsMem   uint64 `json:"fills_mem"`
+
+	// Gauge peaks across windows.
+	PeakL3Queue uint64 `json:"peak_l3_queue"`
+	PeakMSHR    uint64 `json:"peak_mshr"`
+	PeakWBQueue uint64 `json:"peak_wb_queue"`
+
+	// Span-weighted means (the final window may be partial).
+	MeanAddrRingUtil float64 `json:"mean_addr_ring_util"`
+	MeanDataRingUtil float64 `json:"mean_data_ring_util"`
+
+	// Windows that closed with the WBHT retry switch active.
+	SwitchActiveWindows int `json:"switch_active_windows"`
+}
+
+// SummarizeSeries rolls one job's interval series up into a
+// SeriesSummary. A nil or empty series yields a zero summary carrying
+// only the job identity.
+func SummarizeSeries(j Job, s *metrics.Series) SeriesSummary {
+	sum := SeriesSummary{Job: j}
+	if s == nil || len(s.Samples) == 0 {
+		return sum
+	}
+	sum.Windows = len(s.Samples)
+	var span uint64
+	var addrW, dataW float64
+	for _, sm := range s.Samples {
+		w := uint64(sm.End - sm.Start)
+		span += w
+		sum.Retries += sm.Retries
+		sum.WBRetried += sm.WBRetried
+		sum.WBIssued += sm.WBIssued
+		sum.DemandTxns += sm.DemandTxns
+		sum.FillsPeer += sm.FillsPeer
+		sum.FillsL3 += sm.FillsL3
+		sum.FillsMem += sm.FillsMem
+		if v := uint64(sm.L3QueuePeak); v > sum.PeakL3Queue {
+			sum.PeakL3Queue = v
+		}
+		if v := uint64(sm.MSHROccupancy); v > sum.PeakMSHR {
+			sum.PeakMSHR = v
+		}
+		if v := uint64(sm.WBQueueOccupancy); v > sum.PeakWBQueue {
+			sum.PeakWBQueue = v
+		}
+		addrW += sm.AddrRingUtil * float64(w)
+		dataW += sm.DataRingUtil * float64(w)
+		if sm.SwitchActive {
+			sum.SwitchActiveWindows++
+		}
+	}
+	sum.Cycles = span
+	if span > 0 {
+		sum.MeanAddrRingUtil = addrW / float64(span)
+		sum.MeanDataRingUtil = dataW / float64(span)
+	}
+	return sum
+}
+
+// Summarize rolls every probed, successful result up into one
+// SeriesSummary per job, in result order. Jobs without a metrics series
+// (failed, or run unprobed) are skipped.
+func Summarize(results []Result) []SeriesSummary {
+	var out []SeriesSummary
+	for _, r := range results {
+		if r.Err != nil || r.Results == nil || r.Results.Metrics == nil {
+			continue
+		}
+		out = append(out, SummarizeSeries(r.Job, r.Results.Metrics))
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package sweep
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"cmpcache/internal/config"
+	"cmpcache/internal/metrics"
+	"cmpcache/internal/system"
+	"cmpcache/internal/txlat"
+)
+
+func TestSummarizeSeries(t *testing.T) {
+	j := Job{Workload: "tp", Mechanism: config.WBHT}
+	s := &metrics.Series{
+		Interval: 100,
+		Samples: []metrics.Sample{
+			{
+				Window: 0, Start: 0, End: 100,
+				Retries: 5, WBRetried: 3, WBIssued: 10, DemandTxns: 40,
+				FillsPeer: 4, FillsL3: 2, FillsMem: 1,
+				L3QueuePeak: 7, MSHROccupancy: 12, WBQueueOccupancy: 3,
+				AddrRingUtil: 0.5, DataRingUtil: 0.25, SwitchActive: true,
+			},
+			{
+				// Final partial window: half the span, so it carries half
+				// the weight in the utilization means.
+				Window: 1, Start: 100, End: 150,
+				Retries: 1, WBRetried: 0, WBIssued: 2, DemandTxns: 10,
+				L3QueuePeak: 2, MSHROccupancy: 20, WBQueueOccupancy: 1,
+				AddrRingUtil: 0.2, DataRingUtil: 0.1,
+			},
+		},
+	}
+	sum := SummarizeSeries(j, s)
+	if sum.Job != j {
+		t.Errorf("job = %+v, want %+v", sum.Job, j)
+	}
+	if sum.Windows != 2 || sum.Cycles != 150 {
+		t.Errorf("windows/cycles = %d/%d, want 2/150", sum.Windows, sum.Cycles)
+	}
+	if sum.Retries != 6 || sum.WBRetried != 3 || sum.WBIssued != 12 || sum.DemandTxns != 50 {
+		t.Errorf("counter totals = %d/%d/%d/%d", sum.Retries, sum.WBRetried, sum.WBIssued, sum.DemandTxns)
+	}
+	if sum.FillsPeer != 4 || sum.FillsL3 != 2 || sum.FillsMem != 1 {
+		t.Errorf("fill totals = %d/%d/%d", sum.FillsPeer, sum.FillsL3, sum.FillsMem)
+	}
+	if sum.PeakL3Queue != 7 || sum.PeakMSHR != 20 || sum.PeakWBQueue != 3 {
+		t.Errorf("peaks = %d/%d/%d", sum.PeakL3Queue, sum.PeakMSHR, sum.PeakWBQueue)
+	}
+	wantAddr := (0.5*100 + 0.2*50) / 150
+	wantData := (0.25*100 + 0.1*50) / 150
+	if math.Abs(sum.MeanAddrRingUtil-wantAddr) > 1e-12 || math.Abs(sum.MeanDataRingUtil-wantData) > 1e-12 {
+		t.Errorf("ring means = %.6f/%.6f, want %.6f/%.6f",
+			sum.MeanAddrRingUtil, sum.MeanDataRingUtil, wantAddr, wantData)
+	}
+	if sum.SwitchActiveWindows != 1 {
+		t.Errorf("switch-active windows = %d, want 1", sum.SwitchActiveWindows)
+	}
+
+	empty := SummarizeSeries(j, nil)
+	if empty.Windows != 0 || empty.Retries != 0 || empty.Job != j {
+		t.Errorf("nil series summary = %+v", empty)
+	}
+}
+
+func TestSummarizeSkipsUnprobedAndFailed(t *testing.T) {
+	probed := Result{
+		Job:     Job{Workload: "tp"},
+		Results: &system.Results{Metrics: &metrics.Series{Samples: []metrics.Sample{{End: 10}}}},
+	}
+	results := []Result{
+		probed,
+		{Job: Job{Workload: "cpw2"}, Err: context.Canceled},
+		{Job: Job{Workload: "trade2"}, Results: &system.Results{}}, // unprobed
+	}
+	sums := Summarize(results)
+	if len(sums) != 1 || sums[0].Job != probed.Job {
+		t.Fatalf("Summarize kept %d summaries %+v, want only the probed job", len(sums), sums)
+	}
+}
+
+// TestSweepLatencyAttachment runs a tiny sweep with the latency option
+// and checks every job's result carries a consistent report.
+func TestSweepLatencyAttachment(t *testing.T) {
+	jobs := Plan{
+		Workloads:     []string{"tp"},
+		Mechanisms:    []config.Mechanism{config.Baseline, config.Snarf},
+		Outstanding:   []int{6},
+		RefsPerThread: 400,
+	}.Jobs()
+	if len(jobs) != 2 {
+		t.Fatalf("plan built %d jobs, want 2", len(jobs))
+	}
+	results := Run(context.Background(), jobs, Options{
+		Workers: 2,
+		Latency: &txlat.Config{TopK: 4},
+	})
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %s: %v", r.Job, r.Err)
+		}
+		rep := r.Results.Latency
+		if rep == nil || len(rep.Groups) == 0 {
+			t.Fatalf("job %s: no latency report", r.Job)
+		}
+		if rep.Dropped != 0 {
+			t.Errorf("job %s: collector dropped %d records", r.Job, rep.Dropped)
+		}
+	}
+}

@@ -33,6 +33,7 @@ import (
 
 	"cmpcache/internal/config"
 	"cmpcache/internal/system"
+	"cmpcache/internal/txlat"
 )
 
 // Job identifies one simulation configuration, keyed the same way the
@@ -178,6 +179,10 @@ type Options struct {
 	// Results.Metrics then carries its interval series. Probes are
 	// per-run state, so series are identical at any worker count.
 	MetricsInterval config.Cycles
+	// Latency, when non-nil and Run is nil, attaches a per-transaction
+	// latency collector configured by it to every simulation; each
+	// job's Results.Latency then carries the stage-attributed report.
+	Latency *txlat.Config
 }
 
 // Run executes jobs on a bounded worker pool and returns one Result per
@@ -197,6 +202,7 @@ func Run(ctx context.Context, jobs []Job, opts Options) []Result {
 	if runFn == nil {
 		sim := NewSimulator()
 		sim.MetricsInterval = opts.MetricsInterval
+		sim.Latency = opts.Latency
 		runFn = sim.Run
 	}
 

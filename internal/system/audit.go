@@ -30,17 +30,32 @@ func (s *System) AttachAuditor(a *audit.Auditor) {
 }
 
 // installTick composes the engine's single per-event tick slot from
-// whichever observers are attached, so probe and auditor coexist in any
-// attach order.
+// whichever observers are attached, so the probe, the auditor and a
+// windowed latency collector coexist in any attach order. A non-windowed
+// latency collector needs no tick at all: its hooks fire at the protocol
+// commit points, so attaching one leaves the engine's hot loop untouched.
 func (s *System) installTick() {
-	probe, aud := s.probe, s.auditor
-	switch {
-	case probe != nil && aud != nil:
-		s.engine.SetTick(func(t sim.Time) { probe.Tick(t); aud.Tick(t) })
-	case probe != nil:
-		s.engine.SetTick(probe.Tick)
-	case aud != nil:
-		s.engine.SetTick(aud.Tick)
+	ticks := make([]func(sim.Time), 0, 3)
+	if s.probe != nil {
+		ticks = append(ticks, s.probe.Tick)
+	}
+	if s.auditor != nil {
+		ticks = append(ticks, s.auditor.Tick)
+	}
+	if s.lat != nil && s.lat.Windowed() {
+		ticks = append(ticks, s.lat.Tick)
+	}
+	switch len(ticks) {
+	case 0:
+	case 1:
+		s.engine.SetTick(ticks[0])
+	default:
+		all := ticks
+		s.engine.SetTick(func(t sim.Time) {
+			for _, f := range all {
+				f(t)
+			}
+		})
 	}
 }
 

@@ -84,6 +84,11 @@ func (s *System) resolve(p *pendingAccess) {
 		if s.auditor != nil {
 			s.auditor.OnWBReinstall(cache.ID(), e)
 		}
+		if s.lat != nil && !e.InFlight {
+			// Queued entries close here; an in-flight one closes at its
+			// bus combine (the cancelled disposition).
+			s.lat.WBCancelled(cache.ID(), key, now)
+		}
 		vKey, vState, evicted := cache.Reinstall(e)
 		if evicted {
 			s.handleVictim(cache, vKey, vState, now)
@@ -104,6 +109,9 @@ func (s *System) resolve(p *pendingAccess) {
 		}
 		cache.AllocMSHR(key, coherence.Upgrade)
 		cache.AttachMSHR(key, true, p.completeFn)
+		if s.lat != nil {
+			s.lat.DemandIssued(cache.ID(), key, p.issued, now)
+		}
 		s.startDemand(cache, key, coherence.Upgrade)
 
 	case probeMiss:
@@ -126,6 +134,9 @@ func (s *System) resolve(p *pendingAccess) {
 		cache.CountMiss()
 		cache.AllocMSHR(key, kind)
 		cache.AttachMSHR(key, isStore, p.completeFn)
+		if s.lat != nil {
+			s.lat.DemandIssued(cache.ID(), key, p.issued, now)
+		}
 		s.startDemand(cache, key, kind)
 	}
 }
@@ -136,6 +147,9 @@ func (s *System) startDemand(cache l2Handle, key uint64, kind coherence.TxnKind)
 	s.demandTxns++
 	slot := s.ring.ReserveAddress(s.engine.Now())
 	combineAt := slot + s.cfg.AddressPhase
+	if s.lat != nil {
+		s.lat.DemandStart(cache.ID(), key, kind, s.rswitch.ActiveNow(), s.engine.Now(), combineAt)
+	}
 	s.engine.AtCall(combineAt, s.hCombineDemand,
 		sim.EventData{Ptr: cache, Key: key, Kind: int8(kind)})
 }
@@ -182,7 +196,13 @@ func (s *System) combineDemand(cache l2Handle, key uint64, kind coherence.TxnKin
 			// The castout buffer snoops too: a queued write back supplies
 			// data like an array copy would, and an invalidating
 			// transaction cancels it before it can be resurrected stale.
-			resp, _, _ = peer.SnoopDemandWB(key, kind)
+			wbResp, wbe, wbDropped := peer.SnoopDemandWB(key, kind)
+			resp = wbResp
+			if s.lat != nil && wbDropped && !wbe.InFlight {
+				// The peer's queued write back died here; an in-flight
+				// one closes at its own combine as cancelled.
+				s.lat.WBCancelled(peer.ID(), key, now)
+			}
 		}
 		peer.ReservePort(key, now) // snoop consumes peer tag bandwidth
 		responses = append(responses, coherence.AgentResponse{Agent: peer.ID(), Resp: resp})
@@ -197,6 +217,9 @@ func (s *System) combineDemand(cache l2Handle, key uint64, kind coherence.TxnKin
 	out := s.collector.Combine(kind, responses)
 	if s.tracer != nil {
 		s.tracer.Demand(now, cache.ID(), key, kind.String(), out.Source.String(), out.L3Valid, out.SharedElsewhere)
+	}
+	if s.lat != nil && kind != coherence.Upgrade {
+		s.lat.DemandCombine(cache.ID(), key, out.Source, now)
 	}
 
 	if kind == coherence.Upgrade {
@@ -232,6 +255,9 @@ func (s *System) commitUpgrade(cache l2Handle, key uint64, now config.Cycles) {
 	s.upgrades++
 	if s.auditor != nil {
 		s.auditor.OnUpgrade(cache.ID(), key, false)
+	}
+	if s.lat != nil {
+		s.lat.DemandComplete(cache.ID(), key, now)
 	}
 	cache.SetState(key, coherence.Modified)
 	loads, stores := cache.TakeWaiters(key)
@@ -305,6 +331,9 @@ func (s *System) commitFill(cache l2Handle, key uint64, kind coherence.TxnKind, 
 // fillDataReady books the data ring for the arrived source line and
 // schedules delivery (hFillReady).
 func (s *System) fillDataReady(d sim.EventData) {
+	if s.lat != nil {
+		s.lat.DemandSourceReady(d.Ptr.(l2Handle).ID(), d.Key, s.engine.Now())
+	}
 	dStart := s.ring.ReserveData(s.engine.Now())
 	s.engine.AtCall(dStart+s.cfg.DataRingOccupancy, s.hCompleteFill, d)
 }
@@ -317,8 +346,11 @@ func (s *System) fillDataReady(d sim.EventData) {
 // coherence order). Restarting in that case would let two stable
 // storers invalidate each other's in-flight fills forever.
 func (s *System) completeFill(cache l2Handle, key uint64, kind coherence.TxnKind) {
-	loads, stores := cache.TakeWaiters(key)
 	at := s.engine.Now()
+	if s.lat != nil {
+		s.lat.DemandComplete(cache.ID(), key, at)
+	}
+	loads, stores := cache.TakeWaiters(key)
 	for _, w := range loads {
 		w(at)
 	}
@@ -377,6 +409,13 @@ func (s *System) handleVictim(cache l2Handle, vKey uint64, vState coherence.Stat
 		s.auditor.OnVictim(cache.ID(), vKey, vState, action == l2VictimQueued)
 	}
 	if action == l2VictimQueued {
+		if s.lat != nil {
+			wbKind := coherence.CleanWB
+			if vState.Dirty() {
+				wbKind = coherence.DirtyWB
+			}
+			s.lat.WBQueued(cache.ID(), vKey, wbKind, s.rswitch.ActiveNow(), now)
+		}
 		s.reuse.recordAttempt(vKey)
 		s.pumpWB(cache.ID())
 	}

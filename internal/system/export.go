@@ -17,6 +17,9 @@ type DerivedMetrics struct {
 	PctAcceptedReused       float64
 	WBHTCorrectRate         float64
 	MeanFillLatency         float64
+	P50FillLatency          float64
+	P90FillLatency          float64
+	P99FillLatency          float64
 	MaxFillLatency          uint64
 }
 
@@ -34,6 +37,9 @@ func (r *Results) Derived() DerivedMetrics {
 		PctAcceptedReused:       r.Reuse.PctAcceptedReused(),
 		WBHTCorrectRate:         r.WBHT.CorrectRate(),
 		MeanFillLatency:         r.FillLatency.Mean(),
+		P50FillLatency:          r.FillLatency.Quantile(0.50),
+		P90FillLatency:          r.FillLatency.Quantile(0.90),
+		P99FillLatency:          r.FillLatency.Quantile(0.99),
 		MaxFillLatency:          r.FillLatency.Max(),
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"cmpcache/internal/l2"
 	"cmpcache/internal/metrics"
 	"cmpcache/internal/stats"
+	"cmpcache/internal/txlat"
 )
 
 // WBHTStats aggregates the Write Back History Tables across L2s.
@@ -138,6 +139,11 @@ type Results struct {
 	// probe was attached (nil otherwise, and omitted from JSON so runs
 	// without a probe export unchanged bytes).
 	Metrics *metrics.Series `json:",omitempty"`
+
+	// Latency is the stage-attributed latency report collected when a
+	// latency collector was attached (nil otherwise, and omitted from
+	// JSON so runs without one export unchanged bytes).
+	Latency *txlat.Report `json:",omitempty"`
 }
 
 // results gathers all component statistics after a run.
@@ -206,6 +212,9 @@ func (s *System) results() *Results {
 	}
 	if s.probe != nil {
 		r.Metrics = s.probe.Finish(elapsed)
+	}
+	if s.lat != nil {
+		r.Latency = s.lat.Finish(elapsed)
 	}
 	r.CleanWBFirstTime, r.CleanWBLostL3 = s.cleanWBFirst, s.cleanWBLost
 	r.L3QueueAcquired, r.L3QueueRejected, r.L3QueuePeak = s.l3.QueueStats()

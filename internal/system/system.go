@@ -30,6 +30,7 @@ import (
 	"cmpcache/internal/sim"
 	"cmpcache/internal/stats"
 	"cmpcache/internal/trace"
+	"cmpcache/internal/txlat"
 )
 
 // System is one fully wired simulated chip.
@@ -91,6 +92,10 @@ type System struct {
 	// auditor, when attached, is the shadow invariant checker (nil in
 	// normal runs — hook sites pay one nil check each).
 	auditor *audit.Auditor
+
+	// lat, when attached, is the per-transaction latency-attribution
+	// collector (nil in normal runs — hook sites pay one nil check each).
+	lat *txlat.Collector
 
 	// System-level counters (component-level ones live in the
 	// components).

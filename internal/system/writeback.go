@@ -5,6 +5,7 @@ import (
 	"cmpcache/internal/config"
 	"cmpcache/internal/l2"
 	"cmpcache/internal/sim"
+	"cmpcache/internal/txlat"
 )
 
 // Local aliases keep the transaction-flow code readable.
@@ -42,6 +43,9 @@ func (s *System) pumpWB(l2idx int) {
 
 	slot := s.ring.ReserveAddress(s.engine.Now())
 	combineAt := slot + s.cfg.AddressPhase
+	if s.lat != nil {
+		s.lat.WBIssued(cache.ID(), entry.Key, s.engine.Now(), combineAt)
+	}
 	s.engine.AtCall(combineAt, s.hCombineWB, sim.EventData{
 		Ptr: cache, Key: entry.Key, Kind: int8(entry.Kind), Flag: entry.Snarfable,
 	})
@@ -131,6 +135,9 @@ func (s *System) combineWB(cache l2Handle, key uint64, kind coherence.TxnKind, s
 		if s.auditor != nil {
 			s.auditor.OnWBCancelled(cache.ID(), key, out.WBSnarfed)
 		}
+		if s.lat != nil {
+			s.lat.WBDone(cache.ID(), key, txlat.OutWBCancelled, now)
+		}
 		if l3Accepted {
 			s.releaseL3Token()
 		}
@@ -168,6 +175,13 @@ func (s *System) combineWB(cache l2Handle, key uint64, kind coherence.TxnKind, s
 			}
 			s.auditor.OnWBSquashed(cache.ID(), entry, out.SquashedByL3, squasher)
 		}
+		if s.lat != nil {
+			o := txlat.OutWBSquashPeer
+			if out.SquashedByL3 {
+				o = txlat.OutWBSquashL3
+			}
+			s.lat.WBDone(cache.ID(), key, o, now)
+		}
 		if l3Accepted {
 			s.releaseL3Token()
 		}
@@ -180,6 +194,9 @@ func (s *System) combineWB(cache l2Handle, key uint64, kind coherence.TxnKind, s
 		s.wbToL3++
 		if s.auditor != nil {
 			s.auditor.OnWBToL3(cache.ID(), entry)
+		}
+		if s.lat != nil {
+			s.lat.WBToL3(cache.ID(), key, now)
 		}
 		s.reuse.recordAccepted(key)
 		s.sendToL3(key, kind, now) // token released by sendToL3's completion
@@ -196,6 +213,9 @@ func (s *System) combineWB(cache l2Handle, key uint64, kind coherence.TxnKind, s
 func (s *System) retryWB(cache l2Handle, entry l2.WBEntry, now config.Cycles) {
 	s.wbRetried++
 	s.rswitch.RecordRetry(now)
+	if s.lat != nil {
+		s.lat.WBRetry(cache.ID(), entry.Key, now)
+	}
 	cache.RequeueWB(entry)
 	s.engine.ScheduleCall(s.cfg.RetryBackoff, s.hFinishWB,
 		sim.EventData{Key: uint64(cache.ID())})
@@ -216,6 +236,9 @@ func (s *System) settleSnarf(cache l2Handle, entry l2.WBEntry, winner l2Handle, 
 		if s.auditor != nil {
 			s.auditor.OnWBSnarfed(cache.ID(), entry, winner.ID(), displaced, dropped)
 		}
+		if s.lat != nil {
+			s.lat.WBDone(cache.ID(), entry.Key, txlat.OutWBSnarf, now)
+		}
 		if l3Accepted {
 			s.releaseL3Token()
 		}
@@ -228,6 +251,9 @@ func (s *System) settleSnarf(cache l2Handle, entry l2.WBEntry, winner l2Handle, 
 		}
 		if s.auditor != nil {
 			s.auditor.OnWBToL3(cache.ID(), entry)
+		}
+		if s.lat != nil {
+			s.lat.WBToL3(cache.ID(), entry.Key, now)
 		}
 		s.reuse.recordAccepted(entry.Key)
 		s.sendToL3(entry.Key, entry.Kind, now)
@@ -289,6 +315,9 @@ func (s *System) wbArriveL3(d sim.EventData) {
 // retireL3Write installs the line, drains any displaced dirty victim to
 // memory, and frees the incoming-queue token.
 func (s *System) retireL3Write(key uint64, kind coherence.TxnKind) {
+	if s.lat != nil {
+		s.lat.WBRetired(key, s.engine.Now())
+	}
 	s.everInL3[key] = struct{}{}
 	co, castout := s.l3.Insert(key, kind)
 	if s.auditor != nil {
