@@ -1,0 +1,86 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"cmpcache/internal/serve"
+)
+
+// TestBootSubmitShutdown boots the daemon on an ephemeral port, submits
+// a small job over HTTP, polls it to completion, and shuts the server
+// down gracefully.
+func TestBootSubmitShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- serveMain(ctx, "127.0.0.1:0", serve.Options{
+			CacheDir: t.TempDir(),
+			Workers:  1,
+		}, 30*time.Second, ready)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v", err)
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	body := `{"jobs":[{"Workload":"tp","Mechanism":"base","RefsPerThread":2000}]}`
+	resp, err = http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub serve.SubmitResponse
+	err = json.NewDecoder(resp.Body).Decode(&sub)
+	resp.Body.Close()
+	if err != nil || len(sub.Jobs) != 1 {
+		t.Fatalf("submit decode: %v (%d jobs)", err, len(sub.Jobs))
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + sub.Jobs[0].ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v serve.JobView
+		err = json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Status == serve.JobDone {
+			break
+		}
+		if v.Status.Terminal() || time.Now().After(deadline) {
+			t.Fatalf("job ended %s: %s", v.Status, v.Error)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serveMain: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("graceful shutdown did not complete")
+	}
+}

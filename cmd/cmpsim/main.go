@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 
@@ -51,6 +52,21 @@ func main() {
 		memprofile   = flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
 	)
 	flag.Parse()
+
+	// Validate every output destination before any simulation work:
+	// create missing parent directories and prove the file is creatable
+	// now, instead of discovering a bad path after minutes of simulation.
+	for _, out := range []struct{ flag, path string }{
+		{"metrics-out", *metricsOut},
+		{"trace-out", *traceOut},
+		{"lat-out", *latOut},
+		{"cpuprofile", *cpuprofile},
+		{"memprofile", *memprofile},
+	} {
+		if err := ensureWritable(out.path); err != nil {
+			fatalf("-%s: %v", out.flag, err)
+		}
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -209,6 +225,30 @@ func main() {
 	if auditFailed {
 		os.Exit(1)
 	}
+}
+
+// ensureWritable creates path's missing parent directories and verifies
+// the file itself can be created. A probe file that did not exist
+// before is removed again so a later failure leaves no empty artifact.
+func ensureWritable(path string) error {
+	if path == "" || path == "-" {
+		return nil
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	_, statErr := os.Stat(path)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	f.Close()
+	if os.IsNotExist(statErr) {
+		os.Remove(path)
+	}
+	return nil
 }
 
 // writeSeries exports the interval series as indented JSON.

@@ -55,6 +55,20 @@ func main() {
 	)
 	flag.Parse()
 
+	// Validate every output destination before the sweep starts: create
+	// missing parent directories and prove the file is creatable now,
+	// instead of losing a long sweep to a bad path at export time.
+	for _, out := range []struct{ flag, path string }{
+		{"json", *jsonOut},
+		{"csv", *csvOut},
+		{"cpuprofile", *cpuprofile},
+		{"memprofile", *memprofile},
+	} {
+		if err := ensureWritable(out.path); err != nil {
+			fatalf("-%s: %v", out.flag, err)
+		}
+	}
+
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
@@ -250,6 +264,30 @@ func writeLatencyDir(dir string, results []sweep.Result) error {
 		if err := writeIndented(path, &run); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// ensureWritable creates path's missing parent directories and verifies
+// the file itself can be created. A probe file that did not exist
+// before is removed again so a later failure leaves no empty artifact.
+func ensureWritable(path string) error {
+	if path == "" || path == "-" {
+		return nil
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	_, statErr := os.Stat(path)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	f.Close()
+	if os.IsNotExist(statErr) {
+		os.Remove(path)
 	}
 	return nil
 }

@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func newTestCache(t *testing.T, opts CacheOptions) *Cache {
+	t.Helper()
+	c, err := NewCache(opts)
+	if err != nil {
+		t.Fatalf("NewCache: %v", err)
+	}
+	return c
+}
+
+// TestCacheEvictionOrder pins the LRU contract: with a 2-entry bound,
+// touching an entry protects it and the least recently used one falls
+// out instead.
+func TestCacheEvictionOrder(t *testing.T) {
+	c := newTestCache(t, CacheOptions{L1Entries: 2})
+	c.Put("a", []byte(`{"v":"a"}`))
+	c.Put("b", []byte(`{"v":"b"}`))
+
+	// Touch a so b becomes the LRU entry, then insert c.
+	if _, level, ok := c.Get("a"); !ok || level != CacheL1 {
+		t.Fatalf("Get(a) = (%q, %v), want L1 hit", level, ok)
+	}
+	c.Put("c", []byte(`{"v":"c"}`))
+
+	if _, _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction; want it evicted as LRU")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, level, ok := c.Get(k); !ok || level != CacheL1 {
+			t.Errorf("Get(%s) = (%q, %v), want L1 hit", k, level, ok)
+		}
+	}
+	if s := c.Stats(); s.Evictions != 1 || s.L1Entries != 2 {
+		t.Errorf("stats = %+v, want 1 eviction and 2 entries", s)
+	}
+}
+
+// TestCacheByteBound proves the byte bound evicts independently of the
+// entry bound.
+func TestCacheByteBound(t *testing.T) {
+	c := newTestCache(t, CacheOptions{L1Entries: 100, L1Bytes: 64})
+	big := []byte(fmt.Sprintf(`{"pad":%q}`, bytes.Repeat([]byte("x"), 40)))
+	c.Put("a", big)
+	c.Put("b", big) // a + b exceed 64 bytes -> a evicted
+	if _, _, ok := c.Get("a"); ok {
+		t.Error("a survived; want evicted by the byte bound")
+	}
+	if _, _, ok := c.Get("b"); !ok {
+		t.Error("b missing; want retained")
+	}
+	if s := c.Stats(); s.L1Bytes > 64 {
+		t.Errorf("L1Bytes = %d, want <= 64", s.L1Bytes)
+	}
+}
+
+// TestCacheL2HitPromotesToL1 proves the miss path L1 -> L2 -> promote: a
+// fresh process (new Cache over the same directory) finds the result on
+// disk and subsequent lookups hit in memory.
+func TestCacheL2HitPromotesToL1(t *testing.T) {
+	dir := t.TempDir()
+	warm := newTestCache(t, CacheOptions{Dir: dir})
+	payload := []byte(`{"v":1}`)
+	warm.Put("k", payload)
+
+	cold := newTestCache(t, CacheOptions{Dir: dir})
+	data, level, ok := cold.Get("k")
+	if !ok || level != CacheL2 || !bytes.Equal(data, payload) {
+		t.Fatalf("cold Get = (%s, %q, %v), want L2 hit with original bytes", data, level, ok)
+	}
+	if _, level, ok = cold.Get("k"); !ok || level != CacheL1 {
+		t.Fatalf("second Get level = %q, want promoted L1 hit", level)
+	}
+	s := cold.Stats()
+	if s.L2Hits != 1 || s.L1Hits != 1 {
+		t.Errorf("stats = %+v, want one L2 hit then one L1 hit", s)
+	}
+}
+
+// TestCacheCorruptL2IsMissAndRepaired proves a truncated or corrupted
+// L2 file is treated as a miss (and deleted), and that the next Put
+// repairs the slot.
+func TestCacheCorruptL2IsMissAndRepaired(t *testing.T) {
+	dir := t.TempDir()
+	c := newTestCache(t, CacheOptions{Dir: dir})
+	path := c.path("deadbeef")
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// A prefix of valid JSON, as a crash mid-write without atomic rename
+	// would leave behind.
+	if err := os.WriteFile(path, []byte(`{"v":1,"trunc`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, ok := c.Get("deadbeef"); ok {
+		t.Fatal("corrupt file served as a hit")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("corrupt file not deleted (err=%v)", err)
+	}
+	if s := c.Stats(); s.CorruptDropped != 1 {
+		t.Errorf("CorruptDropped = %d, want 1", s.CorruptDropped)
+	}
+
+	repaired := []byte(`{"v":1}`)
+	c.Put("deadbeef", repaired)
+	if onDisk, err := os.ReadFile(path); err != nil || !bytes.Equal(onDisk, repaired) {
+		t.Errorf("slot not repaired: data=%s err=%v", onDisk, err)
+	}
+}
+
+// TestCachePersist proves the shutdown sweep rewrites L1 entries whose
+// disk file is missing, so memory-only results survive a restart.
+func TestCachePersist(t *testing.T) {
+	dir := t.TempDir()
+	c := newTestCache(t, CacheOptions{Dir: dir})
+	c.Put("k1", []byte(`{"v":1}`))
+	c.Put("k2", []byte(`{"v":2}`))
+
+	// Simulate a lost write: remove one file behind the cache's back.
+	if err := os.Remove(c.path("k1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Persist(); err != nil {
+		t.Fatalf("Persist: %v", err)
+	}
+	if s := c.Stats(); s.Persisted != 1 {
+		t.Errorf("Persisted = %d, want exactly the missing entry rewritten", s.Persisted)
+	}
+	cold := newTestCache(t, CacheOptions{Dir: dir})
+	if _, level, ok := cold.Get("k1"); !ok || level != CacheL2 {
+		t.Errorf("k1 after persist = (%q, %v), want L2 hit", level, ok)
+	}
+}

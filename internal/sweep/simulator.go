@@ -86,8 +86,11 @@ func generate(name string, refs int) (*trace.Trace, error) {
 	return p.Generate()
 }
 
-// Run executes one job to completion. The simulation itself is not
-// preemptible; ctx gates only the setup phase (trace generation wait).
+// Run executes one job to completion, or until ctx is cancelled: the
+// simulation polls ctx between events (system.RunContext), so a
+// cancelled or timed-out job stops within milliseconds and its
+// goroutine exits — nothing keeps running in the background. A
+// completed run is bit-identical regardless of the ctx used.
 func (s *Simulator) Run(ctx context.Context, j Job) (*system.Results, error) {
 	tr, err := s.trace(ctx, j.Workload, j.RefsPerThread)
 	if err != nil {
@@ -107,5 +110,5 @@ func (s *Simulator) Run(ctx context.Context, j Job) (*system.Results, error) {
 	if s.Latency != nil {
 		sys.AttachLatency(txlat.New(*s.Latency))
 	}
-	return sys.Run(), nil
+	return sys.RunContext(ctx)
 }

@@ -38,8 +38,11 @@ import (
 
 // Job identifies one simulation configuration, keyed the same way the
 // experiment harness keys its run cache. The zero value of every
-// override field means "paper default". Job is comparable: two equal
-// Jobs are the same simulation and are deduplicated within a sweep.
+// override field means "paper default". Within a sweep, jobs are
+// deduplicated by their canonical content hash (Key), so two jobs that
+// materialize to the same (config, workload, seed) — even spelled
+// differently, e.g. a defaulted field vs. its explicit paper value —
+// execute once and share a result.
 type Job struct {
 	Workload    string
 	Mechanism   config.Mechanism
@@ -165,8 +168,10 @@ type Options struct {
 	Workers int
 	// Timeout, when positive, cancels each job that runs longer. The
 	// timed-out job reports context.DeadlineExceeded; the sweep
-	// continues. (The event-driven simulator is not preemptible, so an
-	// abandoned run finishes on its goroutine in the background.)
+	// continues. The default Simulator polls the context between
+	// events, so a timed-out run stops (and its goroutine exits)
+	// within milliseconds; a custom Run that ignores its context is
+	// abandoned on its goroutine instead.
 	Timeout time.Duration
 	// Progress, when non-nil, receives one serialized event per
 	// finished job.
@@ -208,7 +213,7 @@ func Run(ctx context.Context, jobs []Job, opts Options) []Result {
 
 	results := make([]Result, len(jobs))
 	pool := &pool{
-		entries: make(map[Job]*entry, len(jobs)),
+		entries: make(map[string]*entry, len(jobs)),
 		total:   len(jobs),
 		start:   time.Now(),
 		report:  opts.Progress,
@@ -243,7 +248,7 @@ type entry struct {
 
 type pool struct {
 	mu      sync.Mutex
-	entries map[Job]*entry
+	entries map[string]*entry
 
 	progressMu sync.Mutex
 	done       int
@@ -253,12 +258,17 @@ type pool struct {
 }
 
 // execute runs (or awaits) the entry for job and returns its Result.
+// Entries are keyed by the canonical content hash (Key), not the Job
+// struct, so jobs that spell the same simulation differently — a
+// defaulted field vs. its explicit paper value — still collapse to one
+// execution.
 func (p *pool) execute(ctx context.Context, job Job, runFn RunFunc, timeout time.Duration) Result {
+	key := dedupKey(job)
 	p.mu.Lock()
-	e, dup := p.entries[job]
+	e, dup := p.entries[key]
 	if !dup {
 		e = &entry{ready: make(chan struct{})}
-		p.entries[job] = e
+		p.entries[key] = e
 	}
 	p.mu.Unlock()
 

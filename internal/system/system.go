@@ -15,6 +15,7 @@
 package system
 
 import (
+	"context"
 	"fmt"
 
 	"cmpcache/internal/audit"
@@ -205,6 +206,41 @@ func (s *System) l2For(tid int) *l2.Cache {
 func (s *System) Run() *Results {
 	s.threads.Start()
 	s.engine.Run()
+	return s.finish()
+}
+
+// cancelCheckEvery is how many fired events RunContext lets pass
+// between context polls. Polling happens outside the event stream —
+// nothing is scheduled, Fired does not move, the simulation is
+// bit-identical to Run — so the granularity only bounds cancellation
+// latency: at ~2M events/sec this is a few-millisecond response.
+const cancelCheckEvery = 8192
+
+// RunContext is Run with cooperative cancellation: it executes the
+// workload to completion unless ctx is cancelled first, in which case
+// it abandons the remaining events and returns ctx's error. A completed
+// run is bit-identical to Run() — the context poll observes the engine
+// between events and never perturbs it.
+func (s *System) RunContext(ctx context.Context) (*Results, error) {
+	s.threads.Start()
+	n := 0
+	for s.engine.Step() {
+		if n++; n >= cancelCheckEvery {
+			n = 0
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.finish(), nil
+}
+
+// finish asserts the drained engine left no thread mid-access, drains
+// the auditor and gathers results.
+func (s *System) finish() *Results {
 	if !s.threads.Done() {
 		panic(fmt.Sprintf("system: engine drained with %d accesses outstanding", s.threads.Outstanding()))
 	}
