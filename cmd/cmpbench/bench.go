@@ -34,6 +34,11 @@ type artifactMeasurement struct {
 	AllocsPerOp  uint64  `json:"allocs_per_op"`
 	Events       uint64  `json:"events"`
 	EventsPerSec float64 `json:"events_per_sec"`
+	// Shards is the intra-run worker count the measurement ran at
+	// (0/absent = serial). The simulation is bit-identical at every
+	// shard count, so Events never varies with it — only the wall-clock
+	// metrics do.
+	Shards int `json:"shards,omitempty"`
 }
 
 type benchRun struct {
@@ -73,16 +78,47 @@ func runBenchJSON(path, label string) error {
 			return err
 		}
 		run.Artifacts[name] = m
-		fmt.Fprintf(os.Stderr, "%-10s %12d ns/op %10d allocs/op %12.0f events/s\n",
-			name, m.NsPerOp, m.AllocsPerOp, m.EventsPerSec)
+		printMeasurement(name, m)
 	}
-	m, err := measureThroughput()
+	m, err := measureThroughput(0)
 	if err != nil {
 		return err
 	}
 	run.Artifacts["throughput"] = m
-	fmt.Fprintf(os.Stderr, "%-10s %12d ns/op %10d allocs/op %12.0f events/s\n",
-		"throughput", m.NsPerOp, m.AllocsPerOp, m.EventsPerSec)
+	printMeasurement("throughput", m)
+
+	// The sharded companion to the throughput artifact: same workload,
+	// auto worker count. Its event count must equal the serial one
+	// (bench-check enforces this); its wall clock is the intra-run
+	// parallelism headline on multi-core hosts.
+	ms, err := measureThroughput(-1)
+	if err != nil {
+		return err
+	}
+	if ms.Events != m.Events {
+		return fmt.Errorf("sharded throughput fired %d events, serial %d — determinism broken", ms.Events, m.Events)
+	}
+	run.Artifacts["throughput_sharded"] = ms
+	printMeasurement("throughput_sharded", ms)
+
+	// Shard-count scaling sweep on a big-core configuration (64 cores,
+	// 32 L2 slices, 128 threads): the config intra-run parallelism is
+	// built for. Event counts are identical across the sweep.
+	var bigEvents uint64
+	for _, shards := range []int{1, 2, 4, 8} {
+		mb, err := measureBigChip(shards)
+		if err != nil {
+			return err
+		}
+		if shards == 1 {
+			bigEvents = mb.Events
+		} else if mb.Events != bigEvents {
+			return fmt.Errorf("bigchip at %d shards fired %d events, serial %d — determinism broken", shards, mb.Events, bigEvents)
+		}
+		name := fmt.Sprintf("bigchip_shards%d", shards)
+		run.Artifacts[name] = mb
+		printMeasurement(name, mb)
+	}
 
 	file := benchFile{Schema: "cmpcache-bench/v1"}
 	if data, err := os.ReadFile(path); err == nil {
@@ -143,7 +179,7 @@ func runBenchCheck(path, label string) error {
 	var events uint64
 	minAllocs, bestRate := ^uint64(0), 0.0
 	for i := 0; i < 3; i++ {
-		m, err := measureThroughput()
+		m, err := measureThroughput(0)
 		if err != nil {
 			return err
 		}
@@ -166,6 +202,20 @@ func runBenchCheck(path, label string) error {
 	}
 	if bestRate < 0.95*want.EventsPerSec {
 		return fmt.Errorf("bench-check: events/sec regressed more than 5%%: measured %.0f, recorded %.0f", bestRate, want.EventsPerSec)
+	}
+
+	// The sharded determinism gate: the same workload at the auto shard
+	// count must fire exactly the serial event count. ns/op is allowed
+	// to differ — the shard count the host resolves to is a property of
+	// the machine, not of the simulation.
+	sharded, err := measureThroughput(-1)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bench-check: sharded throughput %d events at %d shards, %.0f events/s\n",
+		sharded.Events, sharded.Shards, sharded.EventsPerSec)
+	if sharded.Events != events {
+		return fmt.Errorf("bench-check: sharded run fired %d events, serial %d — shard determinism broken", sharded.Events, events)
 	}
 	return nil
 }
@@ -191,24 +241,74 @@ func measureArtifact(name string) (artifactMeasurement, error) {
 }
 
 // measureThroughput times one raw simulator run (the
-// BenchmarkSimulatorThroughput workload).
-func measureThroughput() (artifactMeasurement, error) {
+// BenchmarkSimulatorThroughput workload). shards follows the RunOptions
+// convention: 0 = serial (the recorded zero-overhead baseline), < 0 =
+// auto, N = N shard workers.
+func measureThroughput(shards int) (artifactMeasurement, error) {
 	tr, err := cmpcache.GenerateWorkloadSized("trade2", benchScaleRefs)
 	if err != nil {
 		return artifactMeasurement{}, err
 	}
 	cfg := cmpcache.DefaultConfig()
+	return timeRun(cfg, tr, shards)
+}
+
+// measureBigChip times one run of the big-core scaling configuration:
+// 64 cores (32 L2 slices, 128 threads) on a high-hit-rate tp workload —
+// the shape that gives intra-run parallelism the most independent
+// front-end work per bus transaction.
+func measureBigChip(shards int) (artifactMeasurement, error) {
+	p, err := cmpcache.WorkloadByName("tp")
+	if err != nil {
+		return artifactMeasurement{}, err
+	}
+	p.Threads = 128
+	p.RefsPerThread = benchScaleRefs / 2
+	tr, err := p.Generate()
+	if err != nil {
+		return artifactMeasurement{}, err
+	}
+	cfg := cmpcache.DefaultConfig()
+	cfg.Cores = 64
+	// The shard count is this sweep's axis: when the host's GOMAXPROCS
+	// sits below it, raise it for the measurement so the requested
+	// workers actually spin up. On an undersized host the workers
+	// timeshare and the curve honestly reads flat.
+	if g := runtime.GOMAXPROCS(0); shards > g {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(shards))
+	}
+	return timeRun(cfg, tr, shards)
+}
+
+// timeRun executes one simulation at the given shard count and reports
+// wall time, the process-wide allocation delta and event throughput.
+func timeRun(cfg cmpcache.Config, tr *cmpcache.Trace, shards int) (artifactMeasurement, error) {
 	var m0, m1 runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&m0)
 	start := time.Now()
-	res, err := cmpcache.Run(cfg, tr)
+	var (
+		res *cmpcache.Results
+		err error
+	)
+	if shards == 0 {
+		res, err = cmpcache.Run(cfg, tr)
+	} else {
+		res, err = cmpcache.RunWith(cfg, tr, cmpcache.RunOptions{Workers: shards})
+	}
 	if err != nil {
 		return artifactMeasurement{}, err
 	}
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&m1)
-	return measurement(elapsed, m1.Mallocs-m0.Mallocs, res.EventsFired), nil
+	m := measurement(elapsed, m1.Mallocs-m0.Mallocs, res.EventsFired)
+	// Record the worker count the run actually used: requests clamp to
+	// MaxWorkers (notably to 1 on single-core hosts), and a column
+	// claiming parallelism that never happened would be a lie.
+	if m.Shards = shards; shards < 0 || shards > cmpcache.MaxWorkers(&cfg) {
+		m.Shards = cmpcache.MaxWorkers(&cfg)
+	}
+	return m, nil
 }
 
 func measurement(elapsed time.Duration, allocs, events uint64) artifactMeasurement {
@@ -218,4 +318,15 @@ func measurement(elapsed time.Duration, allocs, events uint64) artifactMeasureme
 		Events:       events,
 		EventsPerSec: float64(events) / elapsed.Seconds(),
 	}
+}
+
+// printMeasurement renders one stderr progress row, with the shard
+// column when the measurement ran sharded.
+func printMeasurement(name string, m artifactMeasurement) {
+	fmt.Fprintf(os.Stderr, "%-18s %12d ns/op %10d allocs/op %12.0f events/s",
+		name, m.NsPerOp, m.AllocsPerOp, m.EventsPerSec)
+	if m.Shards > 0 {
+		fmt.Fprintf(os.Stderr, " shards=%d", m.Shards)
+	}
+	fmt.Fprintln(os.Stderr)
 }

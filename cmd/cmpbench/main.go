@@ -26,9 +26,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"cmpcache/internal/experiments"
+	"cmpcache/internal/sweep"
 )
 
 func main() {
@@ -37,14 +40,50 @@ func main() {
 		refs       = flag.Int("refs", 0, "references per thread (0 = workload default)")
 		quick      = flag.Bool("quick", false, "reduced sweeps and 10K-reference traces")
 		csv        = flag.Bool("csv", false, "emit CSV instead of markdown")
-		workers    = flag.Int("workers", 0, "concurrent simulation runs (0 = GOMAXPROCS)")
+		workers    = flag.Int("workers", 0, "concurrent simulation runs (0 = GOMAXPROCS; clamped when -shards > 1 so workers x shards fits GOMAXPROCS)")
+		shards     = flag.String("shards", "auto", "intra-run shard workers per simulation: auto (spare cores after -workers), serial, or a count (artifacts are byte-identical at any value)")
 		verbose    = flag.Bool("v", false, "log each simulation run to stderr")
 		benchJSON  = flag.String("bench-json", "", "measure every artifact at benchmark scale and record ns/op, allocs/op and events/sec into this JSON file (see BENCH_core.json)")
 		benchLabel = flag.String("bench-label", "current", "run label for -bench-json/-bench-check (an existing run with the same label is replaced)")
 		benchCheck = flag.String("bench-check", "", "re-measure raw simulator throughput (metrics disabled) and fail if it regresses versus the labelled run in this JSON file (the CI gate)")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
 	)
 	flag.Parse()
 
+	shardWorkers, err := sweep.ParseShards(*shards)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cmpbench: %v\n", err)
+		os.Exit(1)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cmpbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cmpbench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cmpbench: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained allocations
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "cmpbench: memprofile: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
 	if *benchCheck != "" {
 		if err := runBenchCheck(*benchCheck, *benchLabel); err != nil {
 			fmt.Fprintf(os.Stderr, "cmpbench: %v\n", err)
@@ -60,7 +99,7 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{RefsPerThread: *refs, Quick: *quick, CSV: *csv, Workers: *workers}
+	opts := experiments.Options{RefsPerThread: *refs, Quick: *quick, CSV: *csv, Workers: *workers, Shards: shardWorkers}
 	if *quick && *refs == 0 {
 		opts.RefsPerThread = 10000
 	}

@@ -175,7 +175,22 @@ type RunOptions struct {
 	Probe   *MetricsProbe
 	Auditor *Auditor
 	Latency *LatencyCollector
+
+	// Workers sets the intra-run parallelism: the simulated chip is
+	// sharded by L2 slice and the shard event wheels execute on this
+	// many goroutines, synchronized at the bus (see DESIGN.md §15).
+	// 0 leaves the run serial, < 0 selects auto (MaxWorkers), and
+	// explicit counts clamp to MaxWorkers. Results are bit-identical
+	// at every worker count — including the probe series, latency
+	// report, event trace and audit verdict — so this knob trades
+	// nothing but wall clock.
+	Workers int
 }
+
+// MaxWorkers returns the largest useful intra-run worker count for cfg:
+// one worker per L2 slice, capped by GOMAXPROCS. This is what the
+// cmd-line tools' "-shards auto" resolves to.
+func MaxWorkers(cfg *Config) int { return system.MaxWorkers(cfg) }
 
 // RunWith simulates tr with every attachment in opts installed. The
 // simulated outcome is identical to Run — all attachments are
@@ -195,6 +210,9 @@ func RunWith(cfg Config, tr *Trace, opts RunOptions) (*Results, error) {
 	}
 	if opts.Latency != nil {
 		s.AttachLatency(opts.Latency)
+	}
+	if opts.Workers != 0 {
+		s.SetWorkers(opts.Workers)
 	}
 	return s.Run(), nil
 }

@@ -126,12 +126,13 @@ type Auditor struct {
 }
 
 // holderMask packs per-L2 holder bits for one key during a sweep
-// (supports up to 8 L2 caches; the chip has 4).
+// (supports up to 64 L2 caches; the paper's chip has 4, and scaled
+// big-core configs reach 16-32).
 type holderMask struct {
-	valid uint8
-	dirty uint8 // M or T
-	sole  uint8 // E or M
-	sl    uint8
+	valid uint64
+	dirty uint64 // M or T
+	sole  uint64 // E or M
+	sl    uint64
 }
 
 // New returns an unattached Auditor.
@@ -172,6 +173,23 @@ func (a *Auditor) Tick(now config.Cycles) {
 	a.now = now
 	a.events++
 	if a.events%a.cfg.SweepEvery == 0 {
+		a.sweep()
+	}
+}
+
+// AdvanceEvents is the batched form of Tick used by the sharded
+// coordinator: it moves the audit clock to now and credits n events
+// toward the sweep cadence, running every sweep the batch crossed. With
+// n == 0 it only restamps the clock — the barrier replay uses that form
+// so each replayed hook's violations carry the hook's own event time.
+func (a *Auditor) AdvanceEvents(now config.Cycles, n uint64) {
+	a.now = now
+	if n == 0 {
+		return
+	}
+	sweepsBefore := a.events / a.cfg.SweepEvery
+	a.events += n
+	for sweeps := a.events/a.cfg.SweepEvery - sweepsBefore; sweeps > 0; sweeps-- {
 		a.sweep()
 	}
 }
@@ -361,7 +379,7 @@ func (a *Auditor) sweep() {
 	clear(a.queued)
 
 	for i, c := range a.view.L2s {
-		bit := uint8(1) << uint(i)
+		bit := uint64(1) << uint(i)
 		c.ForEachLine(func(key uint64, st coherence.State, _ uint8) {
 			h := a.holders[key]
 			h.valid |= bit
@@ -462,7 +480,7 @@ func (a *Auditor) checkConservation() {
 	}
 }
 
-func popcount(b uint8) int {
+func popcount(b uint64) int {
 	n := 0
 	for ; b != 0; b &= b - 1 {
 		n++

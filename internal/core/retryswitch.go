@@ -82,6 +82,19 @@ func (s *RetrySwitch) advance(now config.Cycles) {
 	s.windowStart += elapsed * s.window
 }
 
+// AdvanceTo rolls the sampling window forward to cover now without
+// recording anything. The sharded coordinator calls it once per round so
+// that shard-context consumers can read ActiveNow — the pure form —
+// instead of the mutating Active, keeping the window sequence a function
+// of round boundaries (deterministic) rather than of which worker
+// happened to ask first.
+func (s *RetrySwitch) AdvanceTo(now config.Cycles) {
+	if s.window == 0 {
+		return
+	}
+	s.advance(now)
+}
+
 // ActiveNow reports the switch's state as of its last advance without
 // rolling the sampling window forward. Observation-only callers (the
 // metrics probe) must use this instead of Active so that sampling never

@@ -21,6 +21,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime"
 
 	"cmpcache/internal/config"
 	"cmpcache/internal/sweep"
@@ -48,6 +49,11 @@ type Options struct {
 	// Workers bounds concurrent simulation runs (0 = GOMAXPROCS). The
 	// rendered artifacts are byte-identical at any worker count.
 	Workers int
+	// Shards sets each run's intra-run parallelism (sweep.Options
+	// conventions: 0 = serial, < 0 = auto, N = N shard workers).
+	// Artifacts are byte-identical at any shard count; an explicit
+	// N > 1 clamps Workers so workers x shards fits GOMAXPROCS.
+	Shards int
 }
 
 func (o Options) outstanding() []int {
@@ -95,9 +101,23 @@ type Runner struct {
 
 // NewRunner returns a Runner with an empty cache.
 func NewRunner(opts Options) *Runner {
+	// The runner supplies its own RunFunc to every sweep (for the shared
+	// trace cache), so the worker/shard budget is arbitrated here rather
+	// than in sweep.Run: explicit shard counts clamp the pool, auto
+	// gives each run the spare cores.
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	workers, _ = sweep.FitWorkers(workers, opts.Shards)
+	opts.Workers = workers
+	sim := sweep.NewSimulator()
+	if sim.Shards = opts.Shards; sim.Shards < 0 {
+		sim.Shards = sweep.AutoShards(workers)
+	}
 	return &Runner{
 		opts:  opts,
-		sim:   sweep.NewSimulator(),
+		sim:   sim,
 		cache: make(map[runKey]*system.Results),
 	}
 }

@@ -157,6 +157,14 @@ func (p *Probe) Tick(now config.Cycles) {
 	}
 }
 
+// NextBoundary returns the end of the currently open window — the
+// earliest cycle at which a Tick would close a sample. The sharded
+// coordinator caps each round's horizon strictly below it so every event
+// preceding the boundary has fired before the window closes, preserving
+// the serial sampling contract ("state after all events strictly before
+// end") at any worker count.
+func (p *Probe) NextBoundary() config.Cycles { return p.nextClose }
+
 // close emits the window ending at end and arms the next one.
 func (p *Probe) close(end config.Cycles) {
 	p.emit(p.nextClose-p.interval, end)

@@ -149,10 +149,46 @@ func (e *Engine) AtCall(t Time, h Handler, d EventData) {
 	e.seq++
 }
 
-// Pending reports the number of events waiting to fire.
+// Pending reports the number of events waiting to fire. The event whose
+// handler is currently executing has already been popped, so a handler
+// that schedules nothing observes Pending() == 0 when it is the last
+// event in the queue — Pending counts the future, never the present.
 func (e *Engine) Pending() int { return len(e.events) }
 
-// Stop makes Run return after the currently executing event completes.
+// NextTime returns the timestamp of the earliest pending event, or
+// Forever when the queue is empty. It never fires or reorders anything;
+// coordinators use it to bound how far a wheel may safely run.
+func (e *Engine) NextTime() Time {
+	if len(e.events) == 0 {
+		return Forever
+	}
+	return e.events[0].at
+}
+
+// AdvanceTo moves the clock forward to t without firing events. t must
+// not precede Now and must not skip over a pending event — the past
+// stays immutable and no event may be jumped. The sharded coordinator
+// uses it to keep parked shard wheels in step with the global wheel, so
+// handlers invoked synchronously from global events (waiter wake-ups)
+// read the correct Now.
+func (e *Engine) AdvanceTo(t Time) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: AdvanceTo(%d) before now (%d)", t, e.now))
+	}
+	if len(e.events) > 0 && e.events[0].at < t {
+		panic(fmt.Sprintf("sim: AdvanceTo(%d) would skip event at %d", t, e.events[0].at))
+	}
+	e.now = t
+}
+
+// Stop makes the current Run, RunUntil or Step-driven loop observe the
+// stop after the currently executing event's handler returns. Calling
+// it from inside an event handler is the intended use (a watchdog or
+// deadline event halting its own run); calling it between runs is a
+// no-op because Run and RunUntil both clear the flag on entry. Stop
+// never discards events: everything still pending (including events the
+// stopping handler itself scheduled) remains queued and a subsequent
+// Run/RunUntil resumes exactly where the stopped one left off.
 func (e *Engine) Stop() { e.stopped = true }
 
 // Step executes the single earliest pending event and reports whether one

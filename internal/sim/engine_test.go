@@ -392,3 +392,95 @@ func TestEngineDeepQueueAllocationFree(t *testing.T) {
 		t.Fatalf("deep-queue ScheduleCall+Step allocates %.1f objects per cycle, want 0", avg)
 	}
 }
+
+// TestEngineStopInsideHandlerResumes pins the documented Stop contract
+// end to end: a handler stopping its own run discards nothing — not
+// even events it scheduled itself — and the next Run resumes exactly
+// where the stopped one left off, because Run clears the flag on entry
+// (so a stale Stop between runs is a no-op).
+func TestEngineStopInsideHandlerResumes(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	e.Schedule(5, func() {
+		fired = append(fired, e.Now())
+		// Schedule more work, then halt: both the pre-existing event at
+		// 10 and this fresh one at 7 must survive the stop.
+		e.Schedule(2, func() { fired = append(fired, e.Now()) })
+		e.Stop()
+	})
+	e.Schedule(10, func() { fired = append(fired, e.Now()) })
+
+	if at := e.Run(); at != 5 {
+		t.Fatalf("stopped Run returned time %d, want 5", at)
+	}
+	if len(fired) != 1 || e.Pending() != 2 {
+		t.Fatalf("after stop: fired %v, pending %d; want [5] and 2 queued", fired, e.Pending())
+	}
+	if nt := e.NextTime(); nt != 7 {
+		t.Fatalf("NextTime after stop = %d, want 7 (handler's own event kept)", nt)
+	}
+
+	e.Stop() // between runs: must be a no-op, Run clears it on entry
+	e.Run()
+	want := []Time{5, 7, 10}
+	if len(fired) != 3 || fired[1] != want[1] || fired[2] != want[2] {
+		t.Fatalf("resumed run fired %v, want %v", fired, want)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after full drain, want 0", e.Pending())
+	}
+	if nt := e.NextTime(); nt != Forever {
+		t.Fatalf("NextTime on empty wheel = %d, want Forever", nt)
+	}
+}
+
+// TestEngineStopInsideRunUntil: the same contract under a deadline.
+func TestEngineStopInsideRunUntil(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.Schedule(3, func() { count++; e.Stop() })
+	e.Schedule(4, func() { count++ })
+	e.Schedule(9, func() { count++ })
+	if at := e.RunUntil(6); at != 3 {
+		t.Fatalf("stopped RunUntil returned %d, want 3", at)
+	}
+	if count != 1 || e.Pending() != 2 {
+		t.Fatalf("after stop: count %d pending %d, want 1 and 2", count, e.Pending())
+	}
+	if at := e.RunUntil(6); at != 4 || count != 2 {
+		t.Fatalf("resume ran to %d with count %d, want 4 and 2 (event at 9 past deadline)", at, count)
+	}
+}
+
+// TestEngineAdvanceTo pins the clock-only advance used by the sharded
+// coordinator: time moves without firing, never backward, and never
+// over a pending event.
+func TestEngineAdvanceTo(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.Schedule(10, func() { fired = true })
+	e.AdvanceTo(7)
+	if e.Now() != 7 || fired {
+		t.Fatalf("AdvanceTo(7): now %d fired %v, want 7 and false", e.Now(), fired)
+	}
+	e.AdvanceTo(7) // idempotent at the same instant
+	e.AdvanceTo(10)
+	if fired {
+		t.Fatal("AdvanceTo(10) fired the event at 10; it must only move the clock")
+	}
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("backward AdvanceTo", func() { e.AdvanceTo(9) })
+	mustPanic("event-skipping AdvanceTo", func() { e.AdvanceTo(11) })
+	e.Run()
+	if !fired || e.Now() != 10 {
+		t.Fatalf("drain after AdvanceTo: fired %v now %d, want true and 10", fired, e.Now())
+	}
+}

@@ -175,3 +175,23 @@ func ParseWorkloads(spec string) ([]string, error) {
 	}
 	return out, nil
 }
+
+// ParseShards parses a -shards flag value: "auto" (or "") selects one
+// shard worker per L2 slice capped by GOMAXPROCS, "serial" or any
+// explicit count N >= 1 selects exactly that many (clamped to the
+// useful maximum at run time). The returned convention matches
+// Options.Shards / Simulator.Shards: -1 = auto, N >= 1 = N.
+func ParseShards(spec string) (int, error) {
+	s := strings.TrimSpace(spec)
+	switch strings.ToLower(s) {
+	case "", "auto":
+		return -1, nil
+	case "serial":
+		return 1, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("sweep: shards spec %q: want auto, serial, or a count >= 1", spec)
+	}
+	return n, nil
+}

@@ -2,15 +2,16 @@ package system
 
 import (
 	"cmpcache/internal/audit"
-	"cmpcache/internal/sim"
 )
 
 // AttachAuditor installs a as this run's shadow invariant checker: the
-// engine's per-event tick drives its periodic sweeps, and the protocol
-// commit points call its semantic hooks. Attach before Run. Like the
-// metrics probe, an auditor is observation-only — it never perturbs the
-// event sequence — and a system without one pays a single nil check per
-// hook site.
+// round coordinator drives its periodic sweeps (per event in the serial
+// phase, batched to the horizon at each barrier), and the protocol
+// commit points call its semantic hooks — directly from global context,
+// through the barrier's deterministic replay from shard context. Attach
+// before Run. Like the metrics probe, an auditor is observation-only —
+// it never perturbs the event sequence — and a system without one pays
+// a single nil check per hook site.
 func (s *System) AttachAuditor(a *audit.Auditor) {
 	s.auditor = a
 	a.Bind(audit.View{
@@ -26,37 +27,6 @@ func (s *System) AttachAuditor(a *audit.Auditor) {
 			}
 		},
 	})
-	s.installTick()
-}
-
-// installTick composes the engine's single per-event tick slot from
-// whichever observers are attached, so the probe, the auditor and a
-// windowed latency collector coexist in any attach order. A non-windowed
-// latency collector needs no tick at all: its hooks fire at the protocol
-// commit points, so attaching one leaves the engine's hot loop untouched.
-func (s *System) installTick() {
-	ticks := make([]func(sim.Time), 0, 3)
-	if s.probe != nil {
-		ticks = append(ticks, s.probe.Tick)
-	}
-	if s.auditor != nil {
-		ticks = append(ticks, s.auditor.Tick)
-	}
-	if s.lat != nil && s.lat.Windowed() {
-		ticks = append(ticks, s.lat.Tick)
-	}
-	switch len(ticks) {
-	case 0:
-	case 1:
-		s.engine.SetTick(ticks[0])
-	default:
-		all := ticks
-		s.engine.SetTick(func(t sim.Time) {
-			for _, f := range all {
-				f(t)
-			}
-		})
-	}
 }
 
 // releaseL3Token returns one L3 incoming-queue token, keeping the

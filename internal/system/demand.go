@@ -4,16 +4,15 @@ import (
 	"cmpcache/internal/coherence"
 	"cmpcache/internal/config"
 	"cmpcache/internal/sim"
-	"cmpcache/internal/trace"
 )
 
 // pendingAccess carries one thread reference through the L2 front end:
 // issue, probe (including structural-stall retries) and completion.
-// Nodes are pooled on the System; completeFn is bound once per node, so
-// in steady state an access consumes no allocations from issue to the
+// Nodes are pooled per shard; completeFn is bound once per node, so in
+// steady state an access consumes no allocations from issue to the
 // latency observation at completion.
 type pendingAccess struct {
-	cache   l2Handle
+	sh      *shard
 	key     uint64
 	issued  config.Cycles
 	done    func(config.Cycles) // thread completion (cpu doneFn)
@@ -26,129 +25,17 @@ type pendingAccess struct {
 	completeFn func(config.Cycles)
 }
 
-// access is the cpu.IssueFunc: one thread reference enters the
-// hierarchy. The request crosses the core interface unit, reserves an
-// L2 slice port and resolves against the tag array; hits complete at
-// the Table 3 L2 latency, everything else becomes a bus transaction.
-func (s *System) access(tid int, op trace.Op, key uint64, done func(config.Cycles)) {
-	p := s.accessPool.Get()
-	p.cache = s.l2For(tid)
-	p.key = key
-	p.issued = s.engine.Now()
-	p.done = done
-	p.isStore = op == trace.Store
-	p.count = true
-	// The port is booked for the cycle the request reaches the slice
-	// (issue + CoreToL2); booking it from the issue event keeps
-	// reservations time-ordered while avoiding an intermediate event.
-	start := p.cache.ReservePort(key, s.engine.Now()+s.cfg.CoreToL2)
-	s.engine.AtCall(start+s.cfg.L2Access, s.hResolve, sim.EventData{Ptr: p})
-}
-
-// finishAccess completes a pending access: the issue-to-completion
-// latency is recorded, the node returns to the pool and the thread's
-// completion callback runs (which may synchronously issue new work that
-// reuses the node).
-func (s *System) finishAccess(p *pendingAccess, at config.Cycles) {
-	s.fillLatency.Observe(uint64(at - p.issued))
-	done := p.done
-	p.done = nil
-	p.cache = nil
-	s.accessPool.Put(p)
-	done(at)
-}
-
-// resolve classifies the probe outcome and dispatches. p.count is false
-// on re-attempts after a structural stall so statistics stay truthful.
-func (s *System) resolve(p *pendingAccess) {
-	now := s.engine.Now()
-	cache, key, isStore := p.cache, p.key, p.isStore
-	switch cache.Probe(key, isStore, p.count) {
-	case probeHit:
-		if isStore && s.auditor != nil {
-			s.auditor.OnStoreHit(cache.ID(), key)
-		}
-		s.finishAccess(p, now)
-
-	case probeWBBufferHit:
-		// The line was caught in the write-back queue before leaving the
-		// chip: cancel the write back and put the line home.
-		e, ok := cache.CancelWB(key)
-		if !ok {
-			// The in-flight write back combined in this same cycle;
-			// treat as a plain miss on re-resolution.
-			p.count = false
-			s.resolve(p)
-			return
-		}
-		if s.auditor != nil {
-			s.auditor.OnWBReinstall(cache.ID(), e)
-		}
-		if s.lat != nil && !e.InFlight {
-			// Queued entries close here; an in-flight one closes at its
-			// bus combine (the cancelled disposition).
-			s.lat.WBCancelled(cache.ID(), key, now)
-		}
-		vKey, vState, evicted := cache.Reinstall(e)
-		if evicted {
-			s.handleVictim(cache, vKey, vState, now)
-		}
-		if isStore && e.State != coherence.Modified {
-			// Stores to a reinstalled clean/shared line still need
-			// ownership.
-			p.count = false
-			s.resolve(p)
-			return
-		}
-		s.finishAccess(p, now)
-
-	case probeHitNeedsUpgrade:
-		if cache.AttachMSHR(key, true, p.completeFn) {
-			cache.CountMSHRAttach()
-			return // an upgrade or fill in flight will complete us
-		}
-		cache.AllocMSHR(key, coherence.Upgrade)
-		cache.AttachMSHR(key, true, p.completeFn)
-		if s.lat != nil {
-			s.lat.DemandIssued(cache.ID(), key, p.issued, now)
-		}
-		s.startDemand(cache, key, coherence.Upgrade)
-
-	case probeMiss:
-		if cache.AttachMSHR(key, isStore, p.completeFn) {
-			cache.CountMSHRAttach()
-			return
-		}
-		if cache.WBQueueFull() || cache.MSHRFull() {
-			// Structural stall: the miss blocks until a slot opens
-			// ("misses to the L2 cache will be blocked and will have to
-			// wait for an open slot").
-			p.count = false
-			s.engine.ScheduleCall(s.cfg.RetryBackoff, s.hResolve, sim.EventData{Ptr: p})
-			return
-		}
-		kind := coherence.Read
-		if isStore {
-			kind = coherence.RWITM
-		}
-		cache.CountMiss()
-		cache.AllocMSHR(key, kind)
-		cache.AttachMSHR(key, isStore, p.completeFn)
-		if s.lat != nil {
-			s.lat.DemandIssued(cache.ID(), key, p.issued, now)
-		}
-		s.startDemand(cache, key, kind)
-	}
-}
-
-// startDemand arbitrates for the address ring and schedules the
-// transaction's combined-response event.
-func (s *System) startDemand(cache l2Handle, key uint64, kind coherence.TxnKind) {
+// startDemand arbitrates for the address ring at cycle now and
+// schedules the transaction's combined-response event. Global context
+// only: shard context posts a busPost instead, and the barrier calls
+// this with the post's own cycle — so a request arbitrates at the same
+// time whether it was raised serially or on a shard wheel.
+func (s *System) startDemand(cache l2Handle, key uint64, kind coherence.TxnKind, now config.Cycles) {
 	s.demandTxns++
-	slot := s.ring.ReserveAddress(s.engine.Now())
+	slot := s.ring.ReserveAddress(now)
 	combineAt := slot + s.cfg.AddressPhase
 	if s.lat != nil {
-		s.lat.DemandStart(cache.ID(), key, kind, s.rswitch.ActiveNow(), s.engine.Now(), combineAt)
+		s.lat.DemandStart(cache.ID(), key, kind, s.rswitch.ActiveNow(), now, combineAt)
 	}
 	s.engine.AtCall(combineAt, s.hCombineDemand,
 		sim.EventData{Ptr: cache, Key: key, Kind: int8(kind)})
@@ -158,6 +45,11 @@ func (s *System) startDemand(cache l2Handle, key uint64, kind coherence.TxnKind)
 // agents snoop, the Snoop Collector combines, and the requester's tag
 // state (including victim handling) updates. Data movement is scheduled
 // onto the ring and source resources and completes the waiters later.
+//
+// Combine events fire only in the coordinator's serial phase, after
+// every shard wheel has drained strictly past this cycle — so the tag
+// state a snoop observes is exactly the state at the combine cycle,
+// regardless of worker count.
 func (s *System) combineDemand(cache l2Handle, key uint64, kind coherence.TxnKind) {
 	now := s.engine.Now()
 	isLoad := kind == coherence.Read
@@ -249,7 +141,7 @@ func (s *System) commitUpgrade(cache l2Handle, key uint64, now config.Cycles) {
 		for _, w := range stores {
 			cache.AttachMSHR(key, true, w)
 		}
-		s.startDemand(cache, key, coherence.RWITM)
+		s.startDemand(cache, key, coherence.RWITM, now)
 		return
 	}
 	s.upgrades++
@@ -294,7 +186,7 @@ func (s *System) commitFill(cache l2Handle, key uint64, kind coherence.TxnKind, 
 	st := fillState(kind, out)
 	vKey, vState, evicted := cache.InstallFill(key, st)
 	if evicted {
-		s.handleVictim(cache, vKey, vState, now)
+		s.handleVictimGlobal(cache, vKey, vState, now)
 	}
 	if s.auditor != nil {
 		s.auditor.OnFill(cache.ID(), key, kind, st, out)
@@ -329,76 +221,24 @@ func (s *System) commitFill(cache l2Handle, key uint64, kind coherence.TxnKind, 
 }
 
 // fillDataReady books the data ring for the arrived source line and
-// schedules delivery (hFillReady).
+// schedules delivery (hFillReady). Delivery is a shard-local event —
+// waking waiters touches only the requesting L2's front end — so it is
+// scheduled onto the requester's shard wheel.
 func (s *System) fillDataReady(d sim.EventData) {
+	cache := d.Ptr.(l2Handle)
 	if s.lat != nil {
-		s.lat.DemandSourceReady(d.Ptr.(l2Handle).ID(), d.Key, s.engine.Now())
+		s.lat.DemandSourceReady(cache.ID(), d.Key, s.engine.Now())
 	}
 	dStart := s.ring.ReserveData(s.engine.Now())
-	s.engine.AtCall(dStart+s.cfg.DataRingOccupancy, s.hCompleteFill, d)
+	s.shards[cache.ID()].engine.AtCall(dStart+s.cfg.DataRingOccupancy, s.hCompleteFill, d)
 }
 
-// completeFill delivers the arrived data to the coalesced waiters and
-// resolves any store-ownership follow-up. Ownership is serialized at
-// the transaction's bus combine, not at data arrival: an RWITM's stores
-// complete unconditionally even if a later transaction has already
-// invalidated the line (the store is ordered before that transaction in
-// coherence order). Restarting in that case would let two stable
-// storers invalidate each other's in-flight fills forever.
-func (s *System) completeFill(cache l2Handle, key uint64, kind coherence.TxnKind) {
-	at := s.engine.Now()
-	if s.lat != nil {
-		s.lat.DemandComplete(cache.ID(), key, at)
-	}
-	loads, stores := cache.TakeWaiters(key)
-	for _, w := range loads {
-		w(at)
-	}
-	if len(stores) == 0 {
-		return
-	}
-	if kind == coherence.RWITM {
-		for _, w := range stores {
-			w(at)
-		}
-		return
-	}
-	// Stores coalesced onto a Read miss still need ownership, unless the
-	// fill landed Exclusive (silent upgrade).
-	switch cache.State(key) {
-	case coherence.Modified:
-		for _, w := range stores {
-			w(at)
-		}
-	case coherence.Exclusive:
-		cache.SetState(key, coherence.Modified)
-		if s.auditor != nil {
-			s.auditor.OnStoreHit(cache.ID(), key)
-		}
-		for _, w := range stores {
-			w(at)
-		}
-	case coherence.Invalid:
-		// The clean fill was invalidated before its data arrived; the
-		// store claims the line outright. The RWITM completes its stores
-		// at arrival unconditionally, so this cannot recurse.
-		cache.AllocMSHR(key, coherence.RWITM)
-		for _, w := range stores {
-			cache.AttachMSHR(key, true, w)
-		}
-		s.startDemand(cache, key, coherence.RWITM)
-	default: // S, SL, T: claim ownership on the bus
-		cache.AllocMSHR(key, coherence.Upgrade)
-		for _, w := range stores {
-			cache.AttachMSHR(key, true, w)
-		}
-		s.startDemand(cache, key, coherence.Upgrade)
-	}
-}
-
-// handleVictim routes an evicted line through the Section 2 write-back
-// policy and wakes the write-back pump when an entry was enqueued.
-func (s *System) handleVictim(cache l2Handle, vKey uint64, vState coherence.State, now config.Cycles) {
+// handleVictimGlobal routes an evicted line through the Section 2
+// write-back policy from global context (fill installs and snarf
+// displacements, which commit at bus events): the observation hooks run
+// directly and a queued entry pumps the write-back machinery in place.
+// Shard-context evictions go through (*shard).handleVictim instead.
+func (s *System) handleVictimGlobal(cache l2Handle, vKey uint64, vState coherence.State, now config.Cycles) {
 	wbhtActive := s.wbhtEnabled() && s.rswitch.Active(now)
 	inL3 := s.l3.Contains(vKey) // oracle peek, used only for scoring
 	action := cache.ProcessVictim(vKey, vState, wbhtActive, inL3)
@@ -417,6 +257,6 @@ func (s *System) handleVictim(cache l2Handle, vKey uint64, vState coherence.Stat
 			s.lat.WBQueued(cache.ID(), vKey, wbKind, s.rswitch.ActiveNow(), now)
 		}
 		s.reuse.recordAttempt(vKey)
-		s.pumpWB(cache.ID())
+		s.pumpWB(cache.ID(), now)
 	}
 }

@@ -8,9 +8,10 @@ import "cmpcache/internal/txlat"
 // carries the finished report. Attach before Run, one collector per
 // run. Like the metrics probe and the auditor, a latency collector is
 // observation-only — it never perturbs the event sequence — and a
-// system without one pays a single nil check per hook site. Only a
-// windowed collector (Interval > 0) registers an engine tick.
+// system without one pays a single nil check per hook site. A windowed
+// collector's windows close at the coordinator's round boundaries;
+// shard-context hooks reach it through the barrier's deterministic
+// replay, so its report is bit-identical at any worker count.
 func (s *System) AttachLatency(c *txlat.Collector) {
 	s.lat = c
-	s.installTick()
 }

@@ -1,0 +1,310 @@
+package system
+
+import (
+	"context"
+	"runtime"
+
+	"cmpcache/internal/config"
+	"cmpcache/internal/sim"
+)
+
+// This file is the intra-run parallel coordinator (DESIGN.md §15).
+//
+// The simulated chip is partitioned by L2 slice into shards, each with
+// its own event wheel, plus one global wheel holding every bus-combine
+// event and everything behind it (ring, L3, memory). Execution proceeds
+// in rounds:
+//
+//  1. Boundary tick — close observability windows up to the next event
+//     time and advance the retry switch's sampling window. After this,
+//     shard context may only *read* the switch (ActiveNow).
+//  2. Parallel phase — every shard runs its wheel up to a horizon H on
+//     worker goroutines. H is chosen so no shard event can causally
+//     precede any global event: H never exceeds the next global event
+//     time, never reaches an observability window boundary, and never
+//     exceeds the earliest cycle a freshly posted bus request could
+//     combine (min over shards of next-event time, floored by the
+//     address ring's free cycle, plus the address phase).
+//  3. Barrier — replay the shards' observation logs into the
+//     attachments in canonical (time, shard) order, then execute the
+//     deferred bus posts in canonical (time, shard) order, arbitrating
+//     each at its own recorded cycle.
+//  4. Serial phase — fire global events in time order while they
+//     precede every pending shard event and the next window boundary.
+//     Before each, all shard clocks advance to the event's cycle so
+//     waiter wake-ups that re-enter shard code observe the right Now.
+//
+// Every merge order above is a pure function of simulated time and
+// shard index, and the phases never overlap, so the complete execution
+// — Results, probe series, audit verdicts, latency reports — is
+// bit-identical at any worker count. Workers == 1 runs the identical
+// round structure inline; that *is* the serial engine.
+
+// MaxWorkers returns the largest useful intra-run worker count for cfg:
+// one worker per L2 slice, capped by GOMAXPROCS. This is the "auto"
+// resolution for the -shards flags.
+func MaxWorkers(cfg *config.Config) int {
+	n := cfg.NumL2()
+	if g := runtime.GOMAXPROCS(0); g < n {
+		n = g
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// SetWorkers sets how many goroutines execute the parallel phase.
+// n <= 0 selects auto (MaxWorkers); anything larger than MaxWorkers is
+// clamped — extra workers would only contend. The choice affects wall
+// clock only: results are bit-identical at every worker count. Call
+// before Run.
+func (s *System) SetWorkers(n int) {
+	max := MaxWorkers(&s.cfg)
+	if n <= 0 || n > max {
+		n = max
+	}
+	s.workers = n
+}
+
+// Workers returns the effective parallel-phase worker count.
+func (s *System) Workers() int { return s.workers }
+
+// runRounds executes the workload to completion (or ctx cancellation)
+// using the round structure above.
+func (s *System) runRounds(ctx context.Context) error {
+	for _, sh := range s.shards {
+		sh.threads.Start()
+	}
+	workers := s.workers
+	if workers > len(s.shards) {
+		workers = len(s.shards)
+	}
+	var pool *workerPool
+	if workers > 1 {
+		pool = s.startPool(workers)
+		defer pool.stop()
+	}
+
+	windowed := s.lat != nil && s.lat.Windowed()
+	serialBudget := 0
+	for {
+		minLocal := s.minShardTime()
+		tg := s.engine.NextTime()
+		tNext := minLocal
+		if tg < tNext {
+			tNext = tg
+		}
+		if tNext == sim.Forever {
+			break // every wheel is empty: the run is complete
+		}
+
+		// (1) Boundary tick: windows ending at or before the next event
+		// close now, seeing exactly the state after all earlier events.
+		if s.probe != nil {
+			s.probe.Tick(tNext)
+		}
+		if windowed {
+			s.lat.Tick(tNext)
+		}
+		s.rswitch.AdvanceTo(tNext)
+		boundary := sim.Forever
+		if s.probe != nil {
+			boundary = s.probe.NextBoundary()
+		}
+		if windowed {
+			if b := s.lat.NextBoundary(); b < boundary {
+				boundary = b
+			}
+		}
+
+		// (2) Horizon: the largest cycle shards may run to freely.
+		h := tg
+		if minLocal != sim.Forever {
+			look := minLocal
+			if nf := s.ring.AddressNextFree(); nf > look {
+				look = nf
+			}
+			look += s.cfg.AddressPhase
+			if look < h {
+				h = look
+			}
+			if boundary-1 < h {
+				h = boundary - 1
+			}
+			if minLocal <= h {
+				if pool != nil {
+					pool.runRound(h)
+				} else {
+					for _, sh := range s.shards {
+						if sh.engine.NextTime() <= h {
+							sh.engine.RunUntil(h)
+						}
+					}
+				}
+				s.drainBarrier(h)
+			}
+		}
+
+		// (4) Serial phase: global events that precede every pending
+		// shard event and the next window boundary.
+		for {
+			g := s.engine.NextTime()
+			if g >= boundary || g >= s.minShardTime() {
+				break
+			}
+			if s.auditor != nil {
+				s.auditor.AdvanceEvents(g, 1)
+			}
+			for _, sh := range s.shards {
+				sh.engine.AdvanceTo(g)
+			}
+			s.engine.Step()
+			if serialBudget++; serialBudget >= cancelCheckEvery {
+				serialBudget = 0
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+		}
+
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// minShardTime returns the earliest pending shard event time.
+func (s *System) minShardTime() config.Cycles {
+	m := sim.Forever
+	for _, sh := range s.shards {
+		if t := sh.engine.NextTime(); t < m {
+			m = t
+		}
+	}
+	return m
+}
+
+// drainBarrier is the rendezvous after a parallel phase: observation
+// logs replay in (time, shard) order, the auditor's event clock catches
+// up to the horizon, and the deferred bus posts arbitrate in (time,
+// shard) order at their recorded cycles.
+func (s *System) drainBarrier(h config.Cycles) {
+	var fired uint64
+	for {
+		var best *shard
+		bestAt := sim.Forever
+		for _, sh := range s.shards {
+			if sh.obsNext < len(sh.obs) && sh.obs[sh.obsNext].at < bestAt {
+				best, bestAt = sh, sh.obs[sh.obsNext].at
+			}
+		}
+		if best == nil {
+			break
+		}
+		s.replayObs(best, &best.obs[best.obsNext])
+		best.obsNext++
+	}
+	if s.auditor != nil {
+		for _, sh := range s.shards {
+			fired += sh.engine.Fired()
+		}
+		s.auditor.AdvanceEvents(h, fired-s.auditedFired)
+		s.auditedFired = fired
+	}
+	for {
+		var best *shard
+		bestAt := sim.Forever
+		for _, sh := range s.shards {
+			if sh.postNext < len(sh.posts) && sh.posts[sh.postNext].when < bestAt {
+				best, bestAt = sh, sh.posts[sh.postNext].when
+			}
+		}
+		if best == nil {
+			break
+		}
+		s.executePost(best, &best.posts[best.postNext])
+		best.postNext++
+	}
+	for _, sh := range s.shards {
+		sh.obs, sh.obsNext = sh.obs[:0], 0
+		sh.posts, sh.postNext = sh.posts[:0], 0
+	}
+}
+
+// workerPool runs the parallel phase on persistent goroutines. Shards
+// are statically striped across workers (worker w owns shards w, w+W,
+// …) so ownership never changes; the coordinator doubles as worker 0.
+// Per round, only workers whose shards have events at or before the
+// horizon are woken — idle-shard rounds cost nothing.
+type workerPool struct {
+	s       *System
+	workers int
+	horizon config.Cycles // published before wake sends; read after receives
+	wake    []chan struct{}
+	done    chan struct{}
+}
+
+func (s *System) startPool(n int) *workerPool {
+	p := &workerPool{s: s, workers: n, done: make(chan struct{}, n)}
+	for w := 1; w < n; w++ {
+		ch := make(chan struct{}, 1)
+		p.wake = append(p.wake, ch)
+		go p.serve(w, ch)
+	}
+	return p
+}
+
+func (p *workerPool) serve(w int, wake <-chan struct{}) {
+	for range wake {
+		p.runShards(w)
+		p.done <- struct{}{}
+	}
+}
+
+// runShards executes worker w's shards up to the published horizon.
+func (p *workerPool) runShards(w int) {
+	h := p.horizon
+	for i := w; i < len(p.s.shards); i += p.workers {
+		sh := p.s.shards[i]
+		if sh.engine.NextTime() <= h {
+			sh.engine.RunUntil(h)
+		}
+	}
+}
+
+// hasWork reports whether worker w owns a shard with an event due by h.
+func (p *workerPool) hasWork(w int, h config.Cycles) bool {
+	for i := w; i < len(p.s.shards); i += p.workers {
+		if p.s.shards[i].engine.NextTime() <= h {
+			return true
+		}
+	}
+	return false
+}
+
+// runRound executes one parallel phase across the pool and returns
+// after every woken worker has quiesced (the epoch barrier).
+func (p *workerPool) runRound(h config.Cycles) {
+	p.horizon = h
+	woken := 0
+	for w := 1; w < p.workers; w++ {
+		if p.hasWork(w, h) {
+			p.wake[w-1] <- struct{}{}
+			woken++
+		}
+	}
+	p.runShards(0)
+	for ; woken > 0; woken-- {
+		<-p.done
+	}
+}
+
+// stop retires the pool's goroutines (between rounds, so none is
+// running a shard).
+func (p *workerPool) stop() {
+	for _, ch := range p.wake {
+		close(ch)
+	}
+}

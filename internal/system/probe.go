@@ -2,18 +2,18 @@ package system
 
 import "cmpcache/internal/metrics"
 
-// Attach installs p as this run's observability probe: the engine's
-// per-event tick drives p's sampling windows, and p's sampler callback
-// reads the system's cumulative counters at each window close. Attach
-// must be called before Run; Run's results then carry the completed
-// interval series. Attaching a probe never perturbs the simulation —
-// sampling is observation-only (see internal/metrics) — and a system
-// without one pays a single nil check per event.
+// Attach installs p as this run's observability probe: the round
+// coordinator's boundary tick drives p's sampling windows, and p's
+// sampler callback reads the system's cumulative counters at each
+// window close. Attach must be called before Run; Run's results then
+// carry the completed interval series. Attaching a probe never perturbs
+// the simulation — sampling is observation-only (see internal/metrics)
+// and windows close only at round boundaries, after every event
+// strictly before the window's end has fired at any worker count.
 func (s *System) Attach(p *metrics.Probe) {
 	s.probe = p
 	s.tracer = p.Trace()
 	p.Bind(s.sampleMetrics)
-	s.installTick()
 }
 
 // sampleMetrics copies the system's cumulative counters and occupancy

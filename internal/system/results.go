@@ -148,12 +148,16 @@ type Results struct {
 
 // results gathers all component statistics after a run.
 func (s *System) results() *Results {
-	elapsed := s.threads.FinishTime()
+	elapsed := s.finishTime()
+	var fillLatency stats.Histogram
+	for _, sh := range s.shards {
+		fillLatency.Merge(&sh.fillLatency)
+	}
 	r := &Results{
 		Config:        s.cfg,
 		Cycles:        uint64(elapsed),
-		RefsIssued:    s.threads.Issued(),
-		RefsCompleted: s.threads.Completed(),
+		RefsIssued:    s.threadsIssued(),
+		RefsCompleted: s.threadsCompleted(),
 
 		FillsFromPeer: s.fillsFromPeer,
 		FillsFromL3:   s.fillsFromL3,
@@ -194,14 +198,14 @@ func (s *System) results() *Results {
 		SwitchTotalWindows:  s.rswitch.TotalWindows(),
 
 		Reuse:       s.reuse.snapshot(),
-		FillLatency: s.fillLatency,
+		FillLatency: fillLatency,
 
 		UpgradeRestarts: s.upgradeRestarts,
 		SnarfFallbacks:  s.snarfFallbacks,
 
 		ResidualL3QueueTokens: s.l3.QueueInUse(),
 
-		EventsFired: s.engine.Fired(),
+		EventsFired: s.eventsFired(),
 	}
 	for i, c := range s.l2s {
 		r.ResidualMSHRs += c.MSHRCount()

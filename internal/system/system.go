@@ -12,24 +12,31 @@
 // standard state-at-commit simplification for bus-serialized protocols;
 // the cycle cost of in-flight windows is preserved, only their
 // observability is collapsed.
+//
+// Execution is sharded by L2 slice: each slice's front end (threads,
+// tag probes, MSHRs, write-back queue) runs on its own event wheel,
+// and the bus FIFO — the chip's only global ordering point — lives on a
+// global wheel that a deterministic round coordinator interleaves with
+// the shards (see parallel.go and DESIGN.md §15). Results are
+// bit-identical at every worker count; SetWorkers only changes wall
+// clock.
 package system
 
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"cmpcache/internal/audit"
 	"cmpcache/internal/coherence"
 	"cmpcache/internal/config"
 	"cmpcache/internal/core"
-	"cmpcache/internal/cpu"
 	"cmpcache/internal/l2"
 	"cmpcache/internal/l3"
 	"cmpcache/internal/mem"
 	"cmpcache/internal/metrics"
 	"cmpcache/internal/ring"
 	"cmpcache/internal/sim"
-	"cmpcache/internal/stats"
 	"cmpcache/internal/trace"
 	"cmpcache/internal/txlat"
 )
@@ -37,7 +44,9 @@ import (
 // System is one fully wired simulated chip.
 type System struct {
 	cfg    config.Config
-	engine *sim.Engine
+	engine *sim.Engine // global wheel: bus combines and everything behind them
+
+	shards []*shard // one per L2 slice; shards[i] owns l2s[i]
 
 	l2s       []*l2.Cache
 	l3        *l3.Cache
@@ -45,16 +54,14 @@ type System struct {
 	ring      *ring.Ring
 	collector *coherence.Collector
 	rswitch   *core.RetrySwitch
-	threads   *cpu.Complex
+
+	// workers is the parallel-phase goroutine count (1 = fully serial
+	// execution of the identical round structure).
+	workers int
 
 	wbInFlight []bool // one write-back bus transaction at a time per L2
 
 	reuse *reuseTracker
-
-	// accessPool recycles pendingAccess nodes; each node's completeFn is
-	// bound once by the pool constructor, so the demand path's per-access
-	// bookkeeping allocates nothing in steady state.
-	accessPool *sim.Pool[pendingAccess]
 
 	// responses is the reused snoop-response buffer for combine events
 	// (the collector never retains it).
@@ -62,7 +69,6 @@ type System struct {
 
 	// Event handlers, bound once in New so scheduling a transaction
 	// phase never allocates a closure.
-	hResolve        sim.Handler
 	hCombineDemand  sim.Handler
 	hFillReady      sim.Handler
 	hCompleteFill   sim.Handler
@@ -71,11 +77,6 @@ type System struct {
 	hWBArriveL3     sim.Handler
 	hRetireL3Write  sim.Handler
 	hReleaseL3Token sim.Handler
-
-	// fillLatency accumulates demand-miss service times (issue-to-data),
-	// the distribution behind the execution-time differences the paper
-	// reports.
-	fillLatency stats.Histogram
 
 	// everInL3 tracks lines that have ever completed an L3 insert,
 	// splitting non-redundant clean write backs into first-time writes
@@ -91,8 +92,11 @@ type System struct {
 	tracer *metrics.TraceWriter
 
 	// auditor, when attached, is the shadow invariant checker (nil in
-	// normal runs — hook sites pay one nil check each).
-	auditor *audit.Auditor
+	// normal runs — hook sites pay one nil check each). auditedFired
+	// tracks how many shard events have been credited to its sweep
+	// cadence.
+	auditor      *audit.Auditor
+	auditedFired uint64
 
 	// lat, when attached, is the per-transaction latency-attribution
 	// collector (nil in normal runs — hook sites pay one nil check each).
@@ -138,6 +142,7 @@ func New(cfg config.Config, tr *trace.Trace) (*System, error) {
 		rswitch:   core.NewRetrySwitch(cfg.WBHT),
 		reuse:     newReuseTracker(),
 		everInL3:  make(map[uint64]struct{}),
+		workers:   1,
 	}
 	for i := 0; i < cfg.NumL2(); i++ {
 		s.l2s = append(s.l2s, l2.New(i, &s.cfg))
@@ -145,18 +150,12 @@ func New(cfg config.Config, tr *trace.Trace) (*System, error) {
 	s.wbInFlight = make([]bool, cfg.NumL2())
 	s.responses = make([]coherence.AgentResponse, 0, cfg.NumL2()+2)
 
-	s.accessPool = sim.NewPool(func() *pendingAccess {
-		p := &pendingAccess{}
-		p.completeFn = func(at config.Cycles) { s.finishAccess(p, at) }
-		return p
-	})
-	s.hResolve = func(d sim.EventData) { s.resolve(d.Ptr.(*pendingAccess)) }
 	s.hCombineDemand = func(d sim.EventData) {
 		s.combineDemand(d.Ptr.(l2Handle), d.Key, coherence.TxnKind(d.Kind))
 	}
 	s.hFillReady = s.fillDataReady
 	s.hCompleteFill = func(d sim.EventData) {
-		s.completeFill(d.Ptr.(l2Handle), d.Key, coherence.TxnKind(d.Kind))
+		s.shards[d.Ptr.(l2Handle).ID()].completeFill(d.Key, coherence.TxnKind(d.Kind))
 	}
 	s.hCombineWB = func(d sim.EventData) {
 		s.combineWB(d.Ptr.(l2Handle), d.Key, coherence.TxnKind(d.Kind), d.Flag)
@@ -171,83 +170,135 @@ func New(cfg config.Config, tr *trace.Trace) (*System, error) {
 	for len(streams) < cfg.Threads() {
 		streams = append(streams, nil)
 	}
-	s.threads = cpu.New(s.engine, &s.cfg, streams, s.access)
+	tpl := cfg.ThreadsPerL2()
+	for i := 0; i < cfg.NumL2(); i++ {
+		sub := streams[i*tpl : (i+1)*tpl]
+		recs := 0
+		for _, st := range sub {
+			recs += len(st)
+		}
+		s.shards = append(s.shards, newShard(s, i, sub, recs))
+	}
 
-	// Pre-size the event queue and access pool from the workload: the
-	// queue's high-water mark tracks in-flight accesses (each spans a
-	// handful of scheduled phases), bounded by what the trace can ever
-	// put in flight at once.
-	events := cfg.Threads()*cfg.MaxOutstanding*8 + 64
+	// Pre-size the global event queue from the workload: its high-water
+	// mark tracks in-flight bus transactions, bounded by what the trace
+	// can ever put in flight at once.
+	events := cfg.Threads()*cfg.MaxOutstanding*4 + 64
 	if limit := 2*len(tr.Records) + 64; events > limit {
 		events = limit
 	}
 	s.engine.Grow(events)
-	inflight := cfg.Threads() * cfg.MaxOutstanding
-	if inflight > len(tr.Records) {
-		inflight = len(tr.Records)
-	}
-	s.accessPool.Prime(inflight)
 	return s, nil
 }
 
 // Config returns the system's configuration.
 func (s *System) Config() *config.Config { return &s.cfg }
 
-// l2For maps a hardware thread to its L2 cache (each pair of cores —
-// four threads — shares one).
-func (s *System) l2For(tid int) *l2.Cache {
-	return s.l2s[tid/s.cfg.ThreadsPerL2()]
-}
-
 // Run executes the workload to completion and returns the results. It
-// panics if the event queue drains while threads still have work, which
-// would indicate a lost completion (a simulator bug, not a workload
-// property).
+// panics if every event wheel drains while threads still have work,
+// which would indicate a lost completion (a simulator bug, not a
+// workload property).
 func (s *System) Run() *Results {
-	s.threads.Start()
-	s.engine.Run()
+	if err := s.runRounds(context.Background()); err != nil {
+		panic(err) // unreachable: the background context never cancels
+	}
 	return s.finish()
 }
 
-// cancelCheckEvery is how many fired events RunContext lets pass
-// between context polls. Polling happens outside the event stream —
-// nothing is scheduled, Fired does not move, the simulation is
-// bit-identical to Run — so the granularity only bounds cancellation
-// latency: at ~2M events/sec this is a few-millisecond response.
+// cancelCheckEvery is how many serial-phase events RunContext lets pass
+// between context polls (the coordinator also polls once per round).
+// Polling happens outside the event stream — nothing is scheduled,
+// Fired does not move, the simulation is bit-identical to Run — so the
+// granularity only bounds cancellation latency.
 const cancelCheckEvery = 8192
 
 // RunContext is Run with cooperative cancellation: it executes the
 // workload to completion unless ctx is cancelled first, in which case
 // it abandons the remaining events and returns ctx's error. A completed
-// run is bit-identical to Run() — the context poll observes the engine
-// between events and never perturbs it.
+// run is bit-identical to Run() — the context poll observes the engines
+// between events and never perturbs them.
 func (s *System) RunContext(ctx context.Context) (*Results, error) {
-	s.threads.Start()
-	n := 0
-	for s.engine.Step() {
-		if n++; n >= cancelCheckEvery {
-			n = 0
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
-	}
-	if err := ctx.Err(); err != nil {
+	if err := s.runRounds(ctx); err != nil {
 		return nil, err
 	}
 	return s.finish(), nil
 }
 
-// finish asserts the drained engine left no thread mid-access, drains
+// finish asserts the drained wheels left no thread mid-access, drains
 // the auditor and gathers results.
 func (s *System) finish() *Results {
-	if !s.threads.Done() {
-		panic(fmt.Sprintf("system: engine drained with %d accesses outstanding", s.threads.Outstanding()))
+	if !s.threadsDone() {
+		panic(fmt.Sprintf("system: engine drained with %d accesses outstanding", s.threadsOutstanding()))
 	}
 	if s.auditor != nil {
-		s.auditor.Drain(s.engine.Now())
+		s.auditor.Drain(s.lastTime())
 	}
 	return s.results()
+}
+
+// lastTime returns the latest clock across all wheels — the time the
+// simulation ended.
+func (s *System) lastTime() config.Cycles {
+	t := s.engine.Now()
+	for _, sh := range s.shards {
+		if n := sh.engine.Now(); n > t {
+			t = n
+		}
+	}
+	return t
+}
+
+// --- thread-complex aggregation across shards ---
+
+func (s *System) threadsDone() bool {
+	for _, sh := range s.shards {
+		if !sh.threads.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *System) threadsOutstanding() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.threads.Outstanding()
+	}
+	return n
+}
+
+func (s *System) threadsIssued() uint64 {
+	var n uint64
+	for _, sh := range s.shards {
+		n += sh.threads.Issued()
+	}
+	return n
+}
+
+func (s *System) threadsCompleted() uint64 {
+	var n uint64
+	for _, sh := range s.shards {
+		n += sh.threads.Completed()
+	}
+	return n
+}
+
+func (s *System) finishTime() config.Cycles {
+	var t config.Cycles
+	for _, sh := range s.shards {
+		if f := sh.threads.FinishTime(); f > t {
+			t = f
+		}
+	}
+	return t
+}
+
+func (s *System) eventsFired() uint64 {
+	n := s.engine.Fired()
+	for _, sh := range s.shards {
+		n += sh.engine.Fired()
+	}
+	return n
 }
 
 // snarfing reports whether L2-to-L2 write-back absorption is active.
@@ -261,20 +312,29 @@ func (s *System) wbhtEnabled() bool {
 	return s.cfg.Mechanism == config.WBHT || s.cfg.Mechanism == config.Combined
 }
 
-// DebugWatchdog installs a periodic progress probe: every million fired
-// events, cb receives the current cycle, total events fired, pending
-// event count and a one-line system snapshot. Diagnostics only.
+// DebugWatchdog installs a periodic progress probe: every hundred
+// thousand cycles, cb receives the current cycle, total events fired,
+// pending event count and a one-line system snapshot. Diagnostics only.
 func (s *System) DebugWatchdog(cb func(cycles int64, fired uint64, pending int, extra string)) {
 	var probe func()
 	probe = func() {
-		extra := fmt.Sprintf("outstanding=%d wbq=[%d %d %d %d] inflight=%v mshr=[%d %d %d %d] l3tok=%d",
-			s.threads.Outstanding(),
-			s.l2s[0].WBQueueLen(), s.l2s[1].WBQueueLen(), s.l2s[2].WBQueueLen(), s.l2s[3].WBQueueLen(),
-			s.wbInFlight,
-			s.l2s[0].MSHRCount(), s.l2s[1].MSHRCount(), s.l2s[2].MSHRCount(), s.l2s[3].MSHRCount(),
-			s.l3.QueueInUse())
-		cb(int64(s.engine.Now()), s.engine.Fired(), s.engine.Pending(), extra)
-		if !s.threads.Done() {
+		var wbq, mshr strings.Builder
+		for i, c := range s.l2s {
+			if i > 0 {
+				wbq.WriteByte(' ')
+				mshr.WriteByte(' ')
+			}
+			fmt.Fprintf(&wbq, "%d", c.WBQueueLen())
+			fmt.Fprintf(&mshr, "%d", c.MSHRCount())
+		}
+		extra := fmt.Sprintf("outstanding=%d wbq=[%s] inflight=%v mshr=[%s] l3tok=%d",
+			s.threadsOutstanding(), wbq.String(), s.wbInFlight, mshr.String(), s.l3.QueueInUse())
+		pending := s.engine.Pending()
+		for _, sh := range s.shards {
+			pending += sh.engine.Pending()
+		}
+		cb(int64(s.engine.Now()), s.eventsFired(), pending, extra)
+		if !s.threadsDone() {
 			s.engine.Schedule(100_000, probe)
 		}
 	}

@@ -28,8 +28,10 @@ const (
 
 // pumpWB issues the next write back from l2idx's queue onto the ring,
 // one bus transaction in flight per L2 (the queue drains head-first, as
-// a hardware castout machine would).
-func (s *System) pumpWB(l2idx int) {
+// a hardware castout machine would). now is the cycle the pump was
+// woken — the global clock in serial context, or the posting shard
+// event's cycle when the wake arrives through the round barrier.
+func (s *System) pumpWB(l2idx int, now config.Cycles) {
 	if s.wbInFlight[l2idx] {
 		return
 	}
@@ -41,10 +43,10 @@ func (s *System) pumpWB(l2idx int) {
 	s.wbInFlight[l2idx] = true
 	s.wbTxns++
 
-	slot := s.ring.ReserveAddress(s.engine.Now())
+	slot := s.ring.ReserveAddress(now)
 	combineAt := slot + s.cfg.AddressPhase
 	if s.lat != nil {
-		s.lat.WBIssued(cache.ID(), entry.Key, s.engine.Now(), combineAt)
+		s.lat.WBIssued(cache.ID(), entry.Key, now, combineAt)
 	}
 	s.engine.AtCall(combineAt, s.hCombineWB, sim.EventData{
 		Ptr: cache, Key: entry.Key, Kind: int8(entry.Kind), Flag: entry.Snarfable,
@@ -291,7 +293,7 @@ func wbDisposition(cancelled bool, out coherence.Outcome) string {
 // the next queued entry.
 func (s *System) finishWB(l2idx int) {
 	s.wbInFlight[l2idx] = false
-	s.pumpWB(l2idx)
+	s.pumpWB(l2idx, s.engine.Now())
 }
 
 // sendToL3 moves an accepted write back across the data ring into the
