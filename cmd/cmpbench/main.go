@@ -30,6 +30,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"cmpcache/internal/config"
 	"cmpcache/internal/experiments"
 	"cmpcache/internal/sweep"
 )
@@ -48,6 +49,7 @@ func main() {
 		benchCheck = flag.String("bench-check", "", "re-measure raw simulator throughput (metrics disabled) and fail if it regresses versus the labelled run in this JSON file (the CI gate)")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
+		overrides  = config.RegisterOverrides(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -99,7 +101,7 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{RefsPerThread: *refs, Quick: *quick, CSV: *csv, Workers: *workers, Shards: shardWorkers}
+	opts := experiments.Options{RefsPerThread: *refs, Quick: *quick, CSV: *csv, Workers: *workers, Shards: shardWorkers, Overrides: overrides}
 	if *quick && *refs == 0 {
 		opts.RefsPerThread = 10000
 	}

@@ -68,6 +68,7 @@ func main() {
 		latency     = flag.Bool("latency", false, "attach the per-transaction latency collector to every run (enables /v1/jobs/{id}/latency)")
 		latTopK     = flag.Int("lat-topk", 0, "slowest-transactions reservoir size with -latency (0 = default 16)")
 		drain       = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget before in-flight jobs are cancelled")
+		overrides   = config.RegisterOverrides(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -91,6 +92,7 @@ func main() {
 		MetricsInterval: config.Cycles(*metricsIval),
 		Latency:         *latency,
 		LatencyTopK:     *latTopK,
+		Overrides:       overrides,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -31,13 +31,10 @@ func main() {
 	var (
 		workloadName = flag.String("workload", "trade2", "built-in workload: tp, cpw2, notesbench, trade2")
 		traceFile    = flag.String("trace", "", "trace file to replay instead of a built-in workload")
-		mechanism    = flag.String("mechanism", "base", "write-back policy: base, wbht, snarf, combined")
+		mechanism    = flag.String("mechanism", "base", "write-back policy: base, wbht, snarf, combined, reusedist, hybridui")
 		outstanding  = flag.Int("outstanding", 6, "max outstanding misses per thread (1-6 in the paper)")
 		refs         = flag.Int("refs", 0, "references per thread for built-in workloads (0 = default)")
-		wbhtEntries  = flag.Int("wbht-entries", 0, "override WBHT entries (0 = paper default 32768)")
-		snarfEntries = flag.Int("snarf-entries", 0, "override snarf table entries (0 = paper default 32768)")
-		noSwitch     = flag.Bool("no-retry-switch", false, "disable the WBHT retry-rate on/off switch")
-		global       = flag.Bool("global-wbht", false, "allocate WBHT entries in all L2s (Figure 3 variant)")
+		overrides    = config.RegisterOverrides(flag.CommandLine)
 		configFile   = flag.String("config", "", "load a JSON configuration (see -dump-config) before applying flags")
 		dumpConfig   = flag.Bool("dump-config", false, "print the effective configuration as JSON and exit")
 		jsonOut      = flag.Bool("json", false, "print the full result set as JSON instead of the text report")
@@ -108,37 +105,17 @@ func main() {
 		}
 	}
 	// Flags override the config file only when explicitly given.
-	set := map[string]bool{}
-	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
-	if set["mechanism"] || *configFile == "" {
-		switch *mechanism {
-		case "base":
-			cfg = cfg.WithMechanism(cmpcache.Baseline)
-		case "wbht":
-			cfg = cfg.WithMechanism(cmpcache.WBHT)
-		case "snarf":
-			cfg = cfg.WithMechanism(cmpcache.Snarf)
-		case "combined":
-			cfg = cfg.WithMechanism(cmpcache.Combined)
-		default:
-			fatalf("unknown mechanism %q (want base, wbht, snarf, combined)", *mechanism)
+	if overrides.Explicit("mechanism") || *configFile == "" {
+		var m config.Mechanism
+		if err := m.UnmarshalText([]byte(*mechanism)); err != nil {
+			fatalf("%v", err)
 		}
+		cfg = cfg.WithMechanism(m)
 	}
-	if set["outstanding"] || *configFile == "" {
+	if overrides.Explicit("outstanding") || *configFile == "" {
 		cfg.MaxOutstanding = *outstanding
 	}
-	if set["wbht-entries"] {
-		cfg.WBHT.Entries = *wbhtEntries
-	}
-	if set["snarf-entries"] {
-		cfg.Snarf.Entries = *snarfEntries
-	}
-	if set["no-retry-switch"] {
-		cfg.WBHT.SwitchEnabled = !*noSwitch
-	}
-	if set["global-wbht"] {
-		cfg.WBHT.GlobalAllocate = *global
-	}
+	overrides.Apply(&cfg)
 	if *dumpConfig {
 		if err := cfg.WriteJSON(os.Stdout); err != nil {
 			fatalf("%v", err)

@@ -37,9 +37,10 @@ import (
 func main() {
 	var (
 		workloads   = flag.String("workloads", "all", "comma-separated workloads (tp,cpw2,notesbench,trade2) or all")
-		mechanisms  = flag.String("mechanisms", "all", "comma-separated mechanisms (base,wbht,snarf,combined) or all")
+		mechanisms  = flag.String("mechanisms", "all", "comma-separated mechanisms (base,wbht,snarf,combined,reusedist,hybridui), all, or paper (the original four)")
 		outstanding = flag.String("outstanding", "6", "outstanding-miss axis: list and/or ranges, e.g. 1-6 or 1,2,4")
 		tableSizes  = flag.String("table-sizes", "", "table-entry axis for the active mechanism, e.g. 512,2048,8192 (empty = paper defaults)")
+		overrides   = config.RegisterOverrides(flag.CommandLine)
 		refs        = flag.Int("refs", 0, "references per thread (0 = workload default)")
 		workers     = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS; clamped when -shards > 1 so workers x shards fits GOMAXPROCS)")
 		shards      = flag.String("shards", "auto", "intra-run shard workers per simulation: auto (spare cores after -workers), serial, or a count (results are bit-identical at any value)")
@@ -111,7 +112,7 @@ func main() {
 			fatalf("%v", err)
 		}
 	}
-	jobs := plan.Jobs()
+	jobs := sweep.OverrideJobs(plan.Jobs(), overrides)
 	if len(jobs) == 0 {
 		fatalf("empty grid")
 	}

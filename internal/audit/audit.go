@@ -232,6 +232,16 @@ func (a *Auditor) OnUpgrade(idx int, key uint64, restarted bool) {
 	}
 }
 
+// OnUpdate: an ownership claim combined in update mode (hybrid
+// update/invalidate policy): sharers kept demoted copies and the writer
+// installed st (Tagged with surviving sharers, Modified without).
+func (a *Auditor) OnUpdate(idx int, key uint64, st coherence.State) {
+	a.markDirty(key)
+	if a.model != nil {
+		a.model.Update(idx, key, st)
+	}
+}
+
 // OnFill: a demand fill committed with state st.
 func (a *Auditor) OnFill(idx int, key uint64, kind coherence.TxnKind, st coherence.State, out coherence.Outcome) {
 	if st.Dirty() {

@@ -84,6 +84,42 @@ func (m *RefModel) Upgrade(idx int, key uint64, restarted bool) {
 	m.lines[idx][key] = coherence.Modified
 }
 
+// Update applies an update-mode ownership claim (the hybrid
+// update/invalidate policy): peer copies survive as plain Shared —
+// suppliers (SL/E) and the dirty owner (T) demote, a Modified copy is
+// kept defensively like Upgrade's — while live castout-buffer entries
+// are cancelled exactly as an invalidating claim would (their data is
+// stale once the writer pushes). The writer's expected state is derived
+// from the surviving and cancelled peer copies the real combine counted
+// as sharers — Tagged when any existed, Modified when none — and diffed
+// against the state the real system installed before following it.
+func (m *RefModel) Update(idx int, key uint64, st coherence.State) {
+	_, valid := m.lines[idx][key]
+	want := coherence.Modified
+	for p := range m.lines {
+		if p == idx {
+			continue
+		}
+		if pst, ok := m.lines[p][key]; ok && pst != coherence.Modified {
+			want = coherence.Tagged
+			m.lines[p][key] = coherence.Shared
+		}
+		if qst, ok := m.queues[p][key]; ok && qst != coherence.Modified {
+			want = coherence.Tagged
+			delete(m.queues[p], key)
+		}
+	}
+	if !valid {
+		m.report("model-update", key,
+			"L2 %d committed an update-upgrade the model says it had no copy for", idx)
+	}
+	if st != want {
+		m.report("model-update", key,
+			"L2 %d installed %v on an update-upgrade; the model derives %v", idx, st, want)
+	}
+	m.lines[idx][key] = st
+}
+
 // Fill applies a demand fill commit: the expected install state is
 // derived from the model's own peer states (Table-free POWER4 rules —
 // dirty supplier demotes to Tagged and the reader installs Shared;

@@ -32,6 +32,18 @@ const (
 	// Combined enables both mechanisms, by default with half-sized
 	// tables as in Section 5.3.
 	Combined
+	// ReuseDist replaces the WBHT with a per-L2 reuse-distance sketch
+	// (after arXiv 2105.14442): clean copy-backs are aborted when the
+	// line's predicted eviction-to-reuse distance exceeds the L3's
+	// useful lifetime, rather than when the L3 is predicted to already
+	// hold the line.
+	ReuseDist
+	// HybridUI enables the hybrid update/invalidate coherence variant
+	// (after arXiv 1502.00101): stores to lines whose producer-consumer
+	// score crosses a threshold push updates to the known sharers
+	// instead of invalidating them, falling back to invalidation for
+	// everything else.
+	HybridUI
 )
 
 // String returns the mechanism's name as used in reports.
@@ -45,6 +57,10 @@ func (m Mechanism) String() string {
 		return "snarf"
 	case Combined:
 		return "combined"
+	case ReuseDist:
+		return "reusedist"
+	case HybridUI:
+		return "hybridui"
 	default:
 		return fmt.Sprintf("Mechanism(%d)", int(m))
 	}
@@ -101,6 +117,43 @@ type SnarfConfig struct {
 	// "managing the LRU information at the recipient cache"). Disabling
 	// inserts at LRU (ablation).
 	InsertMRU bool
+}
+
+// ReuseDistConfig parameterizes the reuse-distance clean copy-back
+// policy (after arXiv 2105.14442). Each L2 keeps a sketch of its own
+// evicted tags; a tag's eviction-to-reuse distance is the number of L2
+// misses between evicting it and missing on it again, smoothed by an
+// exponentially weighted moving average. A clean copy-back is aborted
+// when the predicted distance exceeds MaxDistance: the line would age
+// out of the L3 before its next use, so shipping it there buys nothing.
+type ReuseDistConfig struct {
+	Entries int // sketch tag entries per L2
+	Assoc   int
+
+	// MaxDistance is the abort threshold, in misses of the evicting L2.
+	// Lines never seen before (no trained distance) are copied back,
+	// matching the baseline's conservative behavior.
+	MaxDistance uint64
+
+	// EWMAShift sets the smoothing weight: each new distance sample
+	// contributes 1/2^EWMAShift of the running average.
+	EWMAShift uint
+}
+
+// HybridUIConfig parameterizes the hybrid update/invalidate coherence
+// variant (after arXiv 1502.00101). A chip-level score table counts the
+// peer read fills each line attracts between consecutive writes; a
+// store to a line whose count has reached UpdateThreshold pushes the
+// new data to the surviving sharers (they stay Shared, the writer takes
+// dirty ownership as Tagged) instead of invalidating them. Lines below
+// the threshold invalidate as usual.
+type HybridUIConfig struct {
+	Entries int // score-table tag entries (chip-wide)
+	Assoc   int
+
+	// UpdateThreshold is the number of peer read fills between writes
+	// needed before stores switch from invalidate to update.
+	UpdateThreshold int
 }
 
 // Config describes the complete simulated system.
@@ -163,6 +216,8 @@ type Config struct {
 	Mechanism Mechanism
 	WBHT      WBHTConfig
 	Snarf     SnarfConfig
+	ReuseDist ReuseDistConfig
+	HybridUI  HybridUIConfig
 }
 
 // Default returns the paper's baseline system (Table 3) with the
@@ -210,6 +265,8 @@ func Default() Config {
 		Mechanism: Baseline,
 		WBHT:      DefaultWBHT(),
 		Snarf:     DefaultSnarf(),
+		ReuseDist: DefaultReuseDist(),
+		HybridUI:  DefaultHybridUI(),
 	}
 }
 
@@ -236,6 +293,30 @@ func DefaultSnarf() SnarfConfig {
 		Assoc:           16,
 		VictimizeShared: true,
 		InsertMRU:       true,
+	}
+}
+
+// DefaultReuseDist sizes the sketch like the WBHT (32K entries, 16-way)
+// so the two clean-copy-back policies compete at equal hardware cost.
+// MaxDistance defaults to the per-L2 share of the L3 in lines: past
+// that many misses, the copied-back line has likely been victimized.
+func DefaultReuseDist() ReuseDistConfig {
+	return ReuseDistConfig{
+		Entries:     32768,
+		Assoc:       16,
+		MaxDistance: 32768,
+		EWMAShift:   2,
+	}
+}
+
+// DefaultHybridUI matches the mechanism tables' sizing (32K entries,
+// 16-way) with the two-reader threshold of the hybrid protocol's
+// write-run heuristic.
+func DefaultHybridUI() HybridUIConfig {
+	return HybridUIConfig{
+		Entries:         32768,
+		Assoc:           16,
+		UpdateThreshold: 2,
 	}
 }
 
@@ -341,6 +422,25 @@ func (c Config) Validate() error {
 	if c.Mechanism == Snarf || c.Mechanism == Combined {
 		if err := validateTable("Snarf", c.Snarf.Entries, c.Snarf.Assoc); err != nil {
 			return err
+		}
+	}
+	if c.Mechanism == ReuseDist {
+		if err := validateTable("ReuseDist", c.ReuseDist.Entries, c.ReuseDist.Assoc); err != nil {
+			return err
+		}
+		if c.ReuseDist.MaxDistance == 0 {
+			return fmt.Errorf("config: ReuseDist MaxDistance must be positive")
+		}
+		if c.ReuseDist.EWMAShift > 16 {
+			return fmt.Errorf("config: ReuseDist EWMAShift = %d, must be at most 16", c.ReuseDist.EWMAShift)
+		}
+	}
+	if c.Mechanism == HybridUI {
+		if err := validateTable("HybridUI", c.HybridUI.Entries, c.HybridUI.Assoc); err != nil {
+			return err
+		}
+		if c.HybridUI.UpdateThreshold <= 0 {
+			return fmt.Errorf("config: HybridUI UpdateThreshold = %d, must be positive", c.HybridUI.UpdateThreshold)
 		}
 	}
 	return nil

@@ -1,0 +1,98 @@
+package config
+
+import "flag"
+
+// Overrides is the shared flag→config materialization helper for the
+// command-line tools (cmpsim, cmpsweep, cmpserved, cmpbench): it
+// registers the write-back policy knob flags every tool accepts and
+// applies exactly the explicitly-given ones onto a Config.
+//
+// The distinction between "flag left at its default value" and "flag
+// explicitly set to that value" is load-bearing: an explicit
+// `-wbht-entries 0` must materialize as zero entries — and fail
+// Validate — rather than silently falling back to the paper default,
+// and two spellings that materialize differently must never alias in
+// the sweep layer's content-hash result cache. Each tool used to
+// hand-roll this with flag.Visit (or not at all); this type is the one
+// shared implementation.
+type Overrides struct {
+	fs *flag.FlagSet
+
+	WBHTEntries      int
+	SnarfEntries     int
+	ReuseEntries     int
+	ReuseMaxDistance int
+	HybridEntries    int
+	HybridThreshold  int
+	NoSwitch         bool
+	GlobalWBHT       bool
+}
+
+// RegisterOverrides registers the shared policy knob flags on fs and
+// returns the Overrides bound to them. Call fs.Parse before Explicit
+// or Apply.
+func RegisterOverrides(fs *flag.FlagSet) *Overrides {
+	o := &Overrides{fs: fs}
+	fs.IntVar(&o.WBHTEntries, "wbht-entries", 0,
+		"override WBHT entries (unset = paper default 32768, halved for combined)")
+	fs.IntVar(&o.SnarfEntries, "snarf-entries", 0,
+		"override snarf table entries (unset = paper default 32768, halved for combined)")
+	fs.IntVar(&o.ReuseEntries, "reuse-entries", 0,
+		"override reuse-distance sketch entries per L2 (unset = default 32768)")
+	fs.IntVar(&o.ReuseMaxDistance, "reuse-max-distance", 0,
+		"override the reuse-distance abort threshold, in misses of the evicting L2 (unset = default 32768)")
+	fs.IntVar(&o.HybridEntries, "hybrid-entries", 0,
+		"override the hybrid update/invalidate score-table entries (unset = default 32768)")
+	fs.IntVar(&o.HybridThreshold, "hybrid-threshold", 0,
+		"override the peer-read score at which stores switch from invalidate to update (unset = default 2)")
+	fs.BoolVar(&o.NoSwitch, "no-retry-switch", false,
+		"disable the WBHT retry-rate on/off switch")
+	fs.BoolVar(&o.GlobalWBHT, "global-wbht", false,
+		"allocate WBHT entries in all L2s (Figure 3 variant)")
+	return o
+}
+
+// Explicit reports whether the named flag was given on the command
+// line, regardless of its value. Valid only after the flag set parsed.
+func (o *Overrides) Explicit(name string) bool {
+	set := false
+	o.fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// Apply materializes every explicitly-given override onto cfg. Flags
+// that were not given leave cfg untouched, so an explicit zero reaches
+// Validate as zero instead of being mistaken for "use the default".
+func (o *Overrides) Apply(cfg *Config) {
+	if o.Explicit("wbht-entries") {
+		cfg.WBHT.Entries = o.WBHTEntries
+	}
+	if o.Explicit("snarf-entries") {
+		cfg.Snarf.Entries = o.SnarfEntries
+	}
+	if o.Explicit("reuse-entries") {
+		cfg.ReuseDist.Entries = o.ReuseEntries
+	}
+	if o.Explicit("reuse-max-distance") {
+		cfg.ReuseDist.MaxDistance = 0 // negative: invalid, caught by Validate
+		if o.ReuseMaxDistance > 0 {
+			cfg.ReuseDist.MaxDistance = uint64(o.ReuseMaxDistance)
+		}
+	}
+	if o.Explicit("hybrid-entries") {
+		cfg.HybridUI.Entries = o.HybridEntries
+	}
+	if o.Explicit("hybrid-threshold") {
+		cfg.HybridUI.UpdateThreshold = o.HybridThreshold
+	}
+	if o.Explicit("no-retry-switch") {
+		cfg.WBHT.SwitchEnabled = !o.NoSwitch
+	}
+	if o.Explicit("global-wbht") {
+		cfg.WBHT.GlobalAllocate = o.GlobalWBHT
+	}
+}

@@ -1,0 +1,114 @@
+package config
+
+import (
+	"flag"
+	"io"
+	"testing"
+)
+
+// parseOverrides registers the shared override flags on a fresh flag
+// set — exactly what each command-line tool does on flag.CommandLine —
+// and parses args.
+func parseOverrides(t *testing.T, args ...string) *Overrides {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	o := RegisterOverrides(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestOverridesUnsetLeavesConfigUntouched(t *testing.T) {
+	o := parseOverrides(t)
+	cfg := Default().WithMechanism(Combined)
+	want := cfg
+	o.Apply(&cfg)
+	if cfg != want {
+		t.Fatalf("Apply with no flags changed the config:\n got %+v\nwant %+v", cfg, want)
+	}
+	if o.Explicit("wbht-entries") {
+		t.Fatal("Explicit(wbht-entries) = true with nothing parsed")
+	}
+}
+
+// TestOverridesExplicitZeroDistinguished is the regression test for the
+// flag.Visit extraction: an explicit `-wbht-entries 0` must materialize
+// as zero entries and fail Validate, not silently fall back to the
+// paper default. The same helper (and therefore the same semantics) is
+// what cmpsim, cmpsweep, cmpserved and cmpbench all register on their
+// command lines; before the extraction only cmpsim had the fix.
+func TestOverridesExplicitZeroDistinguished(t *testing.T) {
+	for _, tool := range []string{"cmpsim", "cmpsweep", "cmpserved", "cmpbench"} {
+		t.Run(tool, func(t *testing.T) {
+			unset := parseOverrides(t)
+			cfg := Default().WithMechanism(WBHT)
+			unset.Apply(&cfg)
+			if cfg.WBHT.Entries != DefaultWBHT().Entries {
+				t.Fatalf("unset flag changed entries to %d", cfg.WBHT.Entries)
+			}
+			if err := cfg.Validate(); err != nil {
+				t.Fatalf("default config invalid: %v", err)
+			}
+
+			zero := parseOverrides(t, "-wbht-entries", "0")
+			if !zero.Explicit("wbht-entries") {
+				t.Fatal("Explicit(wbht-entries) = false after parsing it")
+			}
+			cfg = Default().WithMechanism(WBHT)
+			zero.Apply(&cfg)
+			if cfg.WBHT.Entries != 0 {
+				t.Fatalf("explicit zero materialized as %d, want 0", cfg.WBHT.Entries)
+			}
+			if err := cfg.Validate(); err == nil {
+				t.Fatal("explicit -wbht-entries 0 passed Validate; it must be rejected, not defaulted")
+			}
+		})
+	}
+}
+
+func TestOverridesApplyEveryKnob(t *testing.T) {
+	o := parseOverrides(t,
+		"-wbht-entries", "1024",
+		"-snarf-entries", "2048",
+		"-reuse-entries", "4096",
+		"-reuse-max-distance", "100",
+		"-hybrid-entries", "8192",
+		"-hybrid-threshold", "3",
+		"-no-retry-switch",
+		"-global-wbht",
+	)
+	cfg := Default()
+	o.Apply(&cfg)
+	switch {
+	case cfg.WBHT.Entries != 1024:
+		t.Fatalf("WBHT.Entries = %d", cfg.WBHT.Entries)
+	case cfg.Snarf.Entries != 2048:
+		t.Fatalf("Snarf.Entries = %d", cfg.Snarf.Entries)
+	case cfg.ReuseDist.Entries != 4096:
+		t.Fatalf("ReuseDist.Entries = %d", cfg.ReuseDist.Entries)
+	case cfg.ReuseDist.MaxDistance != 100:
+		t.Fatalf("ReuseDist.MaxDistance = %d", cfg.ReuseDist.MaxDistance)
+	case cfg.HybridUI.Entries != 8192:
+		t.Fatalf("HybridUI.Entries = %d", cfg.HybridUI.Entries)
+	case cfg.HybridUI.UpdateThreshold != 3:
+		t.Fatalf("HybridUI.UpdateThreshold = %d", cfg.HybridUI.UpdateThreshold)
+	case cfg.WBHT.SwitchEnabled:
+		t.Fatal("retry switch still enabled")
+	case !cfg.WBHT.GlobalAllocate:
+		t.Fatal("global WBHT not applied")
+	}
+}
+
+func TestOverridesNegativeMaxDistanceInvalid(t *testing.T) {
+	o := parseOverrides(t, "-reuse-max-distance", "-5")
+	cfg := Default().WithMechanism(ReuseDist)
+	o.Apply(&cfg)
+	if cfg.ReuseDist.MaxDistance != 0 {
+		t.Fatalf("negative distance materialized as %d, want 0", cfg.ReuseDist.MaxDistance)
+	}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative -reuse-max-distance passed Validate")
+	}
+}

@@ -10,7 +10,7 @@ import (
 // MarshalText renders a Mechanism by name so configurations serialize
 // readably ("wbht", not 1).
 func (m Mechanism) MarshalText() ([]byte, error) {
-	if m < Baseline || m > Combined {
+	if m < Baseline || m > HybridUI {
 		return nil, fmt.Errorf("config: cannot marshal unknown mechanism %d", int(m))
 	}
 	return []byte(m.String()), nil
@@ -28,8 +28,12 @@ func (m *Mechanism) UnmarshalText(b []byte) error {
 		*m = Snarf
 	case "combined":
 		*m = Combined
+	case "reusedist":
+		*m = ReuseDist
+	case "hybridui":
+		*m = HybridUI
 	default:
-		return fmt.Errorf("config: unknown mechanism %q (want base, wbht, snarf, combined)", b)
+		return fmt.Errorf("config: unknown mechanism %q (want base, wbht, snarf, combined, reusedist, hybridui)", b)
 	}
 	return nil
 }

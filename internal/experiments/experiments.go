@@ -54,6 +54,12 @@ type Options struct {
 	// Artifacts are byte-identical at any shard count; an explicit
 	// N > 1 clamps Workers so workers x shards fits GOMAXPROCS.
 	Shards int
+	// Overrides, when non-nil, applies the shared command-line policy
+	// knob overrides (config.RegisterOverrides) to every simulation the
+	// experiments dispatch, including explicit zeros — a knob zeroed on
+	// the command line fails config.Validate instead of silently
+	// reverting to its default.
+	Overrides *config.Overrides
 }
 
 func (o Options) outstanding() []int {
@@ -165,6 +171,7 @@ func (r *Runner) prefetch(keys []runKey) error {
 	if len(jobs) == 0 {
 		return nil
 	}
+	jobs = sweep.OverrideJobs(jobs, r.opts.Overrides)
 	opts := sweep.Options{Workers: r.opts.Workers, Run: r.sim.Run}
 	if r.Progress != nil {
 		opts.Progress = func(p sweep.Progress) {
@@ -213,6 +220,7 @@ var Names = []string{
 	"table1", "table2", "table3", "table4", "table5",
 	"fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
 	"ablation",
+	"policies",
 }
 
 // Run executes one named experiment (or "all") and writes its artifact
@@ -245,6 +253,8 @@ func (r *Runner) Run(name string, w io.Writer) error {
 		return r.Figure7(w)
 	case "ablation":
 		return r.Ablations(w)
+	case "policies":
+		return r.Policies(w)
 	case "all":
 		for _, n := range Names {
 			if err := r.Run(n, w); err != nil {

@@ -20,6 +20,7 @@ import (
 	"cmpcache/internal/config"
 	"cmpcache/internal/core"
 	"cmpcache/internal/sim"
+	"cmpcache/internal/wbpolicy"
 )
 
 // flagSnarfed marks a line that arrived via a write-back snarf rather
@@ -33,6 +34,11 @@ type ProbeKind int8
 const (
 	// ProbeHit: the access completes locally with no bus transaction.
 	ProbeHit ProbeKind = iota
+	// ProbeHitStoreUpgrade: a store hit an Exclusive line; the access
+	// completes locally but the caller must commit the silent E→M
+	// upgrade (SetState) so the transition flows through the same
+	// observation path as every other dirty-state change.
+	ProbeHitStoreUpgrade
 	// ProbeHitNeedsUpgrade: the data is present but a store requires an
 	// ownership claim on the bus (line held S, SL or T).
 	ProbeHitNeedsUpgrade
@@ -60,11 +66,12 @@ type Stats struct {
 
 	HistoryVictims uint64 // fills that used the WBHT-informed victim choice
 
-	SnarfOffers       uint64 // snooped snarfable WBs from peers
-	SnarfAccepts      uint64 // this cache volunteered
-	SnarfInstalls     uint64 // this cache won and installed the line
-	SnarfDeclinedMSHR uint64 // declined: miss in flight for that line
-	SnarfDeclinedFull uint64 // declined: no invalid/shared victim
+	SnarfOffers         uint64 // snooped snarfable WBs from peers
+	SnarfAccepts        uint64 // this cache volunteered
+	SnarfInstalls       uint64 // this cache won and installed the line
+	SnarfDeclinedMSHR   uint64 // declined: miss in flight for that line
+	SnarfDeclinedFull   uint64 // declined: no invalid/shared victim
+	SnarfDeclinedPolicy uint64 // declined: policy rejected the offer
 
 	SnarfedUsedLocally  uint64 // snarfed line later hit by local demand
 	SnarfedIntervention uint64 // snarfed line later supplied to a peer
@@ -72,6 +79,7 @@ type Stats struct {
 	SnoopsObserved uint64
 	Invalidations  uint64 // lines invalidated by peer RWITM/Upgrade
 	Interventions  uint64 // data supplied to peers (all lines)
+	UpdatesTaken   uint64 // lines kept Shared by a peer's update push
 }
 
 // WBEntry is one write-back queue occupant.
@@ -113,15 +121,17 @@ type Cache struct {
 
 	wbq wbDeque // FIFO; index 0 is head
 
-	wbht  *core.WBHT       // nil unless mechanism enables it
-	snarf *core.SnarfTable // nil unless mechanism enables it
+	// agent is this cache's half of the configured write-back policy
+	// (never nil); it owns the adaptive tables and the three decision
+	// points (clean-WB abort, snarf flagging, offer acceptance).
+	agent wbpolicy.Agent
 
 	stats Stats
 }
 
-// New builds L2 cache id from cfg, instantiating the adaptive tables the
-// configured mechanism calls for.
-func New(id int, cfg *config.Config) *Cache {
+// New builds L2 cache id from cfg. agent is this cache's half of the
+// write-back policy (wbpolicy.Chip.Agent(id)).
+func New(id int, cfg *config.Config, agent wbpolicy.Agent) *Cache {
 	linesPerSlice := cfg.L2Lines() / cfg.L2Slices
 	sets := linesPerSlice / cfg.L2Assoc
 	slices := make([]*cache.Cache, cfg.L2Slices)
@@ -138,28 +148,20 @@ func New(id int, cfg *config.Config) *Cache {
 		mshrs:      make(map[uint64]*mshr, cfg.MSHRsPerL2),
 		mshrPool:   sim.NewPool(func() *mshr { return &mshr{} }),
 		wbq:        newWBDeque(cfg.WBQueueEntries + 1),
+		agent:      agent,
 	}
 	c.mshrPool.Prime(cfg.MSHRsPerL2)
-	switch cfg.Mechanism {
-	case config.WBHT:
-		c.wbht = core.NewWBHT(cfg.WBHT)
-	case config.Snarf:
-		c.snarf = core.NewSnarfTable(cfg.Snarf)
-	case config.Combined:
-		c.wbht = core.NewWBHT(cfg.WBHT)
-		c.snarf = core.NewSnarfTable(cfg.Snarf)
-	}
 	return c
 }
 
 // ID returns the cache's agent index.
 func (c *Cache) ID() int { return c.id }
 
-// WBHT returns the cache's Write Back History Table, or nil.
-func (c *Cache) WBHT() *core.WBHT { return c.wbht }
+// WBHT returns the policy agent's Write Back History Table, or nil.
+func (c *Cache) WBHT() *core.WBHT { return c.agent.WBHT() }
 
-// SnarfTable returns the cache's snarf reuse table, or nil.
-func (c *Cache) SnarfTable() *core.SnarfTable { return c.snarf }
+// SnarfTable returns the policy agent's snarf reuse table, or nil.
+func (c *Cache) SnarfTable() *core.SnarfTable { return c.agent.SnarfTable() }
 
 // StatsSnapshot returns a copy of the counters.
 func (c *Cache) StatsSnapshot() Stats { return c.stats }
@@ -174,11 +176,15 @@ func (c *Cache) ReservePort(key uint64, now config.Cycles) config.Cycles {
 	return c.ports[key&c.sliceMask].Reserve(now, c.cfg.L2PortOccupancy)
 }
 
-// Probe performs a demand lookup for a load (isStore=false) or store.
-// It updates recency and applies silent state upgrades (E->M on store
-// hit). count controls access statistics: a probe re-attempted after a
-// structural stall (full write-back queue or MSHRs) passes false so the
-// access is not double-counted. The caller handles the returned kind.
+// Probe performs a demand lookup for a load (isStore=false) or store,
+// updating recency. count controls access statistics: a probe
+// re-attempted after a structural stall (full write-back queue or MSHRs)
+// passes false so the access is not double-counted. Probe never mutates
+// coherence state: a store hitting an Exclusive line reports
+// ProbeHitStoreUpgrade and the caller commits the silent E→M transition
+// via SetState, so it lands inside the observation hooks (auditor,
+// latency timers) like every other dirty-state change rather than as a
+// side effect of a lookup.
 func (c *Cache) Probe(key uint64, isStore, count bool) ProbeKind {
 	if count {
 		c.stats.Accesses++
@@ -197,8 +203,7 @@ func (c *Cache) Probe(key uint64, isStore, count bool) ProbeKind {
 		case coherence.Modified:
 			return ProbeHit
 		case coherence.Exclusive:
-			line.State = int8(coherence.Modified) // silent upgrade
-			return ProbeHit
+			return ProbeHitStoreUpgrade
 		default: // S, SL, T: must claim ownership on the bus
 			return ProbeHitNeedsUpgrade
 		}
@@ -332,8 +337,13 @@ func (c *Cache) TakeWaiters(key uint64) (loads, stores []func(config.Cycles)) {
 	return c.drainLoads, c.drainStores
 }
 
-// CountMiss records that a probe became a new bus transaction.
-func (c *Cache) CountMiss() { c.stats.Misses++ }
+// CountMiss records that a probe for key became a new bus transaction
+// and lets the policy agent observe the local miss (reuse-distance
+// training runs on this per-L2 miss clock).
+func (c *Cache) CountMiss(key uint64) {
+	c.stats.Misses++
+	c.agent.ObserveLocalMiss(key)
+}
 
 // CountMSHRAttach records that an access coalesced onto an existing
 // outstanding miss instead of issuing its own transaction.
@@ -456,33 +466,29 @@ func (a VictimAction) String() string {
 
 // ProcessVictim applies the write-back policy to an evicted line,
 // identified by its chip-wide key (as returned by InstallFill) and the
-// state it held. wbhtActive is the retry-rate switch state
-// (Section 2.2); inL3 is the simulator's oracle peek used solely to
-// score prediction accuracy (Table 4's "WBHT Correct" row).
-func (c *Cache) ProcessVictim(key uint64, st coherence.State, wbhtActive, inL3 bool) VictimAction {
+// state it held. switchActive is the retry-rate switch state
+// (Section 2.2), passed to switch-gated policies; inL3 is the
+// simulator's oracle peek used solely to score prediction accuracy
+// (Table 4's "WBHT Correct" row). The policy agent occupies decision
+// points 1 (clean-WB abort) and 2 (snarf flagging) here.
+func (c *Cache) ProcessVictim(key uint64, st coherence.State, switchActive, inL3 bool) VictimAction {
 	if !st.Valid() {
 		return VictimNone
 	}
+	c.agent.ObserveEviction(key)
 	kind := coherence.CleanWB
 	if st.Dirty() {
 		kind = coherence.DirtyWB
 		c.stats.DirtyVictims++
 	} else {
 		c.stats.CleanVictims++
-		if c.wbht != nil && wbhtActive {
-			abort := c.wbht.ShouldAbort(key)
-			c.wbht.RecordDecision(abort, inL3)
-			if abort {
-				c.stats.CleanWBAborted++
-				return VictimAborted
-			}
+		if c.agent.AbortCleanWB(key, switchActive, inL3) {
+			c.stats.CleanWBAborted++
+			return VictimAborted
 		}
 		c.stats.CleanWBQueued++
 	}
-	entry := WBEntry{Key: key, Kind: kind, State: st}
-	if c.snarf != nil {
-		entry.Snarfable = c.snarf.Snarfable(key)
-	}
+	entry := WBEntry{Key: key, Kind: kind, State: st, Snarfable: c.agent.FlagWriteBack(key)}
 	c.wbq.PushBack(entry)
 	return VictimQueued
 }
@@ -504,10 +510,10 @@ func (c *Cache) InstallFill(key uint64, st coherence.State) (victimKey uint64, v
 	s, k := c.slice(key)
 	var v cache.Line
 	var did bool
-	if c.cfg.WBHT.HistoryReplacement && c.wbht != nil {
+	if w := c.agent.WBHT(); c.cfg.WBHT.HistoryReplacement && w != nil {
 		v, did = s.InsertPrefer(k, int8(st), 0, true, historyReplacementWindow, func(l cache.Line) bool {
 			lst := coherence.State(l.State)
-			return lst.Valid() && !lst.Dirty() && c.wbht.Contains(c.keyFromSlice(l.Key, key))
+			return lst.Valid() && !lst.Dirty() && w.Contains(c.keyFromSlice(l.Key, key))
 		})
 		if did {
 			c.stats.HistoryVictims++
@@ -585,6 +591,30 @@ func (c *Cache) SnoopDemand(key uint64, kind coherence.TxnKind) coherence.Respon
 		return coherence.RespShared
 	}
 	return coherence.RespNull
+}
+
+// SnoopUpdate reacts to a peer's update-mode ownership claim (the
+// hybrid update/invalidate policy): instead of relinquishing its copy,
+// the snooper keeps the line Shared and receives the writer's data
+// push. A clean supplier (SL/E) or dirty owner (T) demotes to plain
+// Shared — the writer becomes the line's dirty supplier — and a
+// Modified copy means the claim already lost its race (same defense in
+// depth as SnoopDemand's stale-Upgrade guard), so it answers RespNull.
+func (c *Cache) SnoopUpdate(key uint64) coherence.Response {
+	c.stats.SnoopsObserved++
+	s, k := c.slice(key)
+	line := s.Lookup(k)
+	if line == nil {
+		return coherence.RespNull
+	}
+	switch coherence.State(line.State) {
+	case coherence.Modified:
+		return coherence.RespNull
+	case coherence.Tagged, coherence.SharedLast, coherence.Exclusive:
+		line.State = int8(coherence.Shared)
+	}
+	c.stats.UpdatesTaken++
+	return coherence.RespShared
 }
 
 // SnoopDemandWB extends demand snooping to the write-back queue: a
@@ -685,7 +715,7 @@ func (c *Cache) noteIntervention(line *cache.Line) {
 // line in that situation").
 func (c *Cache) SnoopWB(key uint64, kind coherence.TxnKind, snarfable bool) coherence.Response {
 	c.stats.SnoopsObserved++
-	if c.snarf == nil {
+	if !c.agent.SnoopsWB() {
 		return coherence.RespNull
 	}
 	s, k := c.slice(key)
@@ -707,6 +737,12 @@ func (c *Cache) SnoopWB(key uint64, kind coherence.TxnKind, snarfable bool) cohe
 	way, _ := s.ReplaceableWay(k, okStates...)
 	if way < 0 {
 		c.stats.SnarfDeclinedFull++
+		return coherence.RespNull
+	}
+	// Decision point 3: the structural checks passed; the policy has
+	// the final accept/reject say.
+	if !c.agent.AcceptOffer(key) {
+		c.stats.SnarfDeclinedPolicy++
 		return coherence.RespNull
 	}
 	c.stats.SnarfAccepts++

@@ -5,6 +5,7 @@ import (
 
 	"cmpcache/internal/coherence"
 	"cmpcache/internal/config"
+	"cmpcache/internal/wbpolicy"
 )
 
 func newL2(t *testing.T, m config.Mechanism) (*Cache, *config.Config) {
@@ -13,7 +14,7 @@ func newL2(t *testing.T, m config.Mechanism) (*Cache, *config.Config) {
 	if err := cfg.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	return New(0, &cfg), &cfg
+	return New(0, &cfg, wbpolicy.New(&cfg).Agent(0)), &cfg
 }
 
 // fill installs key with state st, failing the test on eviction (tests
@@ -43,11 +44,18 @@ func TestProbeMissThenHit(t *testing.T) {
 func TestStoreSilentUpgradeOnExclusive(t *testing.T) {
 	c, _ := newL2(t, config.Baseline)
 	fill(t, c, 4, coherence.Exclusive)
-	if got := c.Probe(4, true, true); got != ProbeHit {
-		t.Fatalf("store on E = %v, want silent hit", got)
+	// The probe reports the silent E→M upgrade without committing it —
+	// the caller owns the transition (and its observation hooks), so the
+	// probe must leave the line untouched.
+	if got := c.Probe(4, true, true); got != ProbeHitStoreUpgrade {
+		t.Fatalf("store on E = %v, want store-upgrade hit", got)
 	}
+	if st := c.State(4); st != coherence.Exclusive {
+		t.Fatalf("state after probe = %v, want E (probe must not mutate)", st)
+	}
+	c.SetState(4, coherence.Modified)
 	if st := c.State(4); st != coherence.Modified {
-		t.Fatalf("state after store = %v, want M", st)
+		t.Fatalf("state after commit = %v, want M", st)
 	}
 }
 
@@ -109,7 +117,7 @@ func TestMSHRDuplicatePanics(t *testing.T) {
 func TestMSHRFull(t *testing.T) {
 	cfg := config.Default()
 	cfg.MSHRsPerL2 = 24 // minimum allowed by Validate for 4x6
-	c := New(0, &cfg)
+	c := New(0, &cfg, wbpolicy.New(&cfg).Agent(0))
 	for i := 0; i < 24; i++ {
 		c.AllocMSHR(uint64(i), coherence.Read)
 	}
@@ -222,7 +230,7 @@ func TestWBRetryRequeues(t *testing.T) {
 
 func TestWBQueueFullBlocks(t *testing.T) {
 	cfg := config.Default()
-	c := New(0, &cfg)
+	c := New(0, &cfg, wbpolicy.New(&cfg).Agent(0))
 	for i := 0; i < cfg.WBQueueEntries; i++ {
 		c.ProcessVictim(uint64(i), coherence.Modified, false, false)
 	}
@@ -366,7 +374,7 @@ func TestSnoopWBDeclinesOnMSHR(t *testing.T) {
 func TestSnoopWBVictimizesSharedButNotExclusive(t *testing.T) {
 	cfg := config.Default().WithMechanism(config.Snarf)
 	// Shrink to 1-way slices... keep geometry but fill one set fully.
-	c := New(0, &cfg)
+	c := New(0, &cfg, wbpolicy.New(&cfg).Agent(0))
 	// Fill set 0 of slice 0 with E/M lines: no shared victims available.
 	sets := cfg.L2Lines() / cfg.L2Slices / cfg.L2Assoc
 	for i := 0; i < cfg.L2Assoc; i++ {
@@ -394,7 +402,7 @@ func TestSnoopWBVictimizesSharedButNotExclusive(t *testing.T) {
 func TestSnoopWBInvalidOnlyPolicy(t *testing.T) {
 	cfg := config.Default().WithMechanism(config.Snarf)
 	cfg.Snarf.VictimizeShared = false
-	c := New(0, &cfg)
+	c := New(0, &cfg, wbpolicy.New(&cfg).Agent(0))
 	sets := cfg.L2Lines() / cfg.L2Slices / cfg.L2Assoc
 	for i := 0; i < cfg.L2Assoc; i++ {
 		fill(t, c, uint64(i*sets)<<2, coherence.Shared)
@@ -456,7 +464,7 @@ func TestTakeWBObligationPanicsWithoutCopy(t *testing.T) {
 
 func TestInstallFillEvictionReconstructsKey(t *testing.T) {
 	cfg := config.Default()
-	c := New(0, &cfg)
+	c := New(0, &cfg, wbpolicy.New(&cfg).Agent(0))
 	sets := cfg.L2Lines() / cfg.L2Slices / cfg.L2Assoc
 	// Fill set 3 of slice 2 beyond capacity.
 	mkKey := func(tag int) uint64 { return (uint64(tag*sets)+3)<<2 | 2 }

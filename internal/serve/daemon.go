@@ -61,6 +61,12 @@ type Options struct {
 	// Run overrides the job executor (tests, fault injection). Nil
 	// uses a shared sweep.Simulator configured from the fields above.
 	Run sweep.RunFunc
+
+	// Overrides, when non-nil, applies the daemon's command-line policy
+	// knob overrides to every submitted job (sweep.OverrideJobs) before
+	// keying and execution, so server-side defaults participate in the
+	// cache key exactly like client-specified knobs.
+	Overrides *config.Overrides
 }
 
 // DefaultQueueDepth bounds the accepted-but-not-running backlog.

@@ -102,6 +102,7 @@ func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	jobs = sweep.OverrideJobs(jobs, d.opts.Overrides)
 	states, err := d.Submit(jobs)
 	if err != nil {
 		status := http.StatusInternalServerError

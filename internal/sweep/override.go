@@ -1,0 +1,45 @@
+package sweep
+
+import "cmpcache/internal/config"
+
+// OverrideJobs applies the shared command-line knob overrides onto
+// every job of a grid, translating explicit flag values into the Job
+// sentinel convention: an explicit positive value overrides the knob,
+// an explicit zero (or negative) becomes the negative sentinel so it
+// materializes as zero — and fails config.Validate — instead of
+// silently meaning "default". Flags that were not given leave the jobs
+// untouched. A nil o is a no-op; the slice is modified in place and
+// returned for chaining.
+func OverrideJobs(jobs []Job, o *config.Overrides) []Job {
+	if o == nil {
+		return jobs
+	}
+	apply := func(name string, val int, field func(*Job) *int) {
+		if !o.Explicit(name) {
+			return
+		}
+		if val <= 0 {
+			val = -1
+		}
+		for i := range jobs {
+			*field(&jobs[i]) = val
+		}
+	}
+	apply("wbht-entries", o.WBHTEntries, func(j *Job) *int { return &j.WBHTEntries })
+	apply("snarf-entries", o.SnarfEntries, func(j *Job) *int { return &j.SnarfEntries })
+	apply("reuse-entries", o.ReuseEntries, func(j *Job) *int { return &j.ReuseEntries })
+	apply("reuse-max-distance", o.ReuseMaxDistance, func(j *Job) *int { return &j.ReuseMaxDist })
+	apply("hybrid-entries", o.HybridEntries, func(j *Job) *int { return &j.HybridEntries })
+	apply("hybrid-threshold", o.HybridThreshold, func(j *Job) *int { return &j.HybridThreshold })
+	if o.Explicit("no-retry-switch") {
+		for i := range jobs {
+			jobs[i].NoSwitch = o.NoSwitch
+		}
+	}
+	if o.Explicit("global-wbht") {
+		for i := range jobs {
+			jobs[i].GlobalWBHT = o.GlobalWBHT
+		}
+	}
+	return jobs
+}

@@ -1,0 +1,108 @@
+package sweep
+
+import (
+	"flag"
+	"io"
+	"testing"
+
+	"cmpcache/internal/config"
+)
+
+func parseOverrides(t *testing.T, args ...string) *config.Overrides {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	o := config.RegisterOverrides(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestOverrideJobsNilAndUnset(t *testing.T) {
+	jobs := []Job{{Workload: "tp", Mechanism: config.WBHT}}
+	if got := OverrideJobs(jobs, nil); got[0] != jobs[0] {
+		t.Fatal("nil overrides changed a job")
+	}
+	if got := OverrideJobs(jobs, parseOverrides(t)); got[0].WBHTEntries != 0 {
+		t.Fatal("unset overrides changed a job")
+	}
+}
+
+// TestOverrideJobsExplicitZeroSentinel proves the sweep layer keeps an
+// explicit `-wbht-entries 0` distinct from unset end to end: the job
+// carries the negative sentinel, materializes to zero entries (which
+// Validate rejects), and hashes to a different content key than the
+// defaulted job — the result cache and the daemon can never alias the
+// two spellings onto one result.
+func TestOverrideJobsExplicitZeroSentinel(t *testing.T) {
+	base := Job{Workload: "tp", Mechanism: config.WBHT}
+	jobs := OverrideJobs([]Job{base}, parseOverrides(t, "-wbht-entries", "0"))
+	if jobs[0].WBHTEntries >= 0 {
+		t.Fatalf("explicit zero became %d, want negative sentinel", jobs[0].WBHTEntries)
+	}
+	cfg := jobs[0].Config()
+	if cfg.WBHT.Entries != 0 {
+		t.Fatalf("sentinel materialized as %d entries, want 0", cfg.WBHT.Entries)
+	}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("zero-entry WBHT config passed Validate")
+	}
+	zeroKey, err := Key(jobs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defKey, err := Key(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zeroKey == defKey {
+		t.Fatal("explicit-zero job aliases the defaulted job in the content-hash cache")
+	}
+}
+
+func TestOverrideJobsAppliesPolicyKnobs(t *testing.T) {
+	o := parseOverrides(t,
+		"-reuse-entries", "1024",
+		"-reuse-max-distance", "500",
+		"-hybrid-entries", "2048",
+		"-hybrid-threshold", "4",
+		"-no-retry-switch",
+		"-global-wbht",
+	)
+	jobs := OverrideJobs([]Job{
+		{Workload: "tp", Mechanism: config.ReuseDist},
+		{Workload: "tp", Mechanism: config.HybridUI},
+	}, o)
+	rd := jobs[0].Config()
+	if rd.ReuseDist.Entries != 1024 || rd.ReuseDist.MaxDistance != 500 {
+		t.Fatalf("reusedist knobs = %d/%d", rd.ReuseDist.Entries, rd.ReuseDist.MaxDistance)
+	}
+	hy := jobs[1].Config()
+	if hy.HybridUI.Entries != 2048 || hy.HybridUI.UpdateThreshold != 4 {
+		t.Fatalf("hybridui knobs = %d/%d", hy.HybridUI.Entries, hy.HybridUI.UpdateThreshold)
+	}
+	if jobs[0].NoSwitch != true || jobs[0].GlobalWBHT != true {
+		t.Fatal("bool overrides not applied")
+	}
+}
+
+// TestPolicyKeysNeverAlias pins the daemon/cache guarantee the policy
+// plug-in architecture depends on: two policies with identical knob
+// spellings are different simulations and must produce distinct
+// content-hash cache keys.
+func TestPolicyKeysNeverAlias(t *testing.T) {
+	mechs := []config.Mechanism{config.Baseline, config.WBHT, config.Snarf,
+		config.Combined, config.ReuseDist, config.HybridUI}
+	seen := make(map[string]config.Mechanism, len(mechs))
+	for _, m := range mechs {
+		k, err := Key(Job{Workload: "tp", Mechanism: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("mechanisms %v and %v share cache key %s", prev, m, k)
+		}
+		seen[k] = m
+	}
+}

@@ -72,6 +72,10 @@ func (p Plan) Jobs() []Job {
 					case config.Combined:
 						j.WBHTEntries = s
 						j.SnarfEntries = s
+					case config.ReuseDist:
+						j.ReuseEntries = s
+					case config.HybridUI:
+						j.HybridEntries = s
 					}
 					jobs = append(jobs, j)
 				}
@@ -131,9 +135,14 @@ func ParseIntSpec(spec string) ([]int, error) {
 }
 
 // ParseMechanisms parses a comma-separated mechanism list ("base,wbht")
-// or the shorthand "all".
+// or one of the shorthands: "all" expands to every registered policy,
+// "paper" to the paper's four configurations.
 func ParseMechanisms(spec string) ([]config.Mechanism, error) {
-	if strings.EqualFold(strings.TrimSpace(spec), "all") {
+	switch strings.ToLower(strings.TrimSpace(spec)) {
+	case "all":
+		return []config.Mechanism{config.Baseline, config.WBHT, config.Snarf, config.Combined,
+			config.ReuseDist, config.HybridUI}, nil
+	case "paper":
 		return []config.Mechanism{config.Baseline, config.WBHT, config.Snarf, config.Combined}, nil
 	}
 	var out []config.Mechanism

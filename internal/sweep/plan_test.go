@@ -137,8 +137,13 @@ func TestParseMechanisms(t *testing.T) {
 		t.Fatalf("got %v", got)
 	}
 	all, err := ParseMechanisms("all")
-	if err != nil || len(all) != 4 {
+	if err != nil || len(all) != 6 {
 		t.Fatalf("all: %v, %v", all, err)
+	}
+	paper, err := ParseMechanisms("paper")
+	if err != nil || !reflect.DeepEqual(paper, []config.Mechanism{
+		config.Baseline, config.WBHT, config.Snarf, config.Combined}) {
+		t.Fatalf("paper: %v, %v", paper, err)
 	}
 	if _, err := ParseMechanisms("warp-drive"); err == nil {
 		t.Fatal("unknown mechanism accepted")

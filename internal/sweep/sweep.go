@@ -44,14 +44,27 @@ import (
 // materialize to the same (config, workload, seed) — even spelled
 // differently, e.g. a defaulted field vs. its explicit paper value —
 // execute once and share a result.
+//
+// Integer knob overrides follow a negative-sentinel convention: 0 means
+// "mechanism default", a positive value overrides, and any negative
+// value means "explicitly zero" — it materializes as 0 (and fails
+// config.Validate for the mechanisms that need the knob). The sentinel
+// keeps an explicit zero distinct from unset all the way into the
+// content-hash cache key, so the two never alias to one result.
 type Job struct {
 	Workload    string
 	Mechanism   config.Mechanism
 	Outstanding int // 0 = config default (6)
 
-	// Table-size overrides (0 = mechanism default).
+	// Table-size overrides (0 = mechanism default, negative = explicit 0).
 	WBHTEntries  int
 	SnarfEntries int
+
+	// Plug-in policy knob overrides (same sentinel convention).
+	ReuseEntries    int // reuse-distance sketch entries per L2
+	ReuseMaxDist    int // reuse-distance abort threshold, in misses
+	HybridEntries   int // hybrid update/invalidate score-table entries
+	HybridThreshold int // peer-read score for update-mode stores
 
 	// Policy variants (zero value = paper policy).
 	GlobalWBHT    bool // Figure 3: allocate WBHT entries in all L2s
@@ -65,17 +78,32 @@ type Job struct {
 	RefsPerThread int
 }
 
+// overrideInt applies the negative-sentinel convention: 0 leaves dst at
+// its default, positive overrides, negative means "explicitly zero".
+func overrideInt(dst *int, v int) {
+	switch {
+	case v > 0:
+		*dst = v
+	case v < 0:
+		*dst = 0
+	}
+}
+
 // Config materializes the simulated system configuration for the job.
 func (j Job) Config() config.Config {
 	cfg := config.Default().WithMechanism(j.Mechanism)
 	if j.Outstanding > 0 {
 		cfg.MaxOutstanding = j.Outstanding
 	}
-	if j.WBHTEntries > 0 {
-		cfg.WBHT.Entries = j.WBHTEntries
-	}
-	if j.SnarfEntries > 0 {
-		cfg.Snarf.Entries = j.SnarfEntries
+	overrideInt(&cfg.WBHT.Entries, j.WBHTEntries)
+	overrideInt(&cfg.Snarf.Entries, j.SnarfEntries)
+	overrideInt(&cfg.ReuseDist.Entries, j.ReuseEntries)
+	overrideInt(&cfg.HybridUI.Entries, j.HybridEntries)
+	overrideInt(&cfg.HybridUI.UpdateThreshold, j.HybridThreshold)
+	if j.ReuseMaxDist > 0 {
+		cfg.ReuseDist.MaxDistance = uint64(j.ReuseMaxDist)
+	} else if j.ReuseMaxDist < 0 {
+		cfg.ReuseDist.MaxDistance = 0
 	}
 	cfg.WBHT.GlobalAllocate = j.GlobalWBHT
 	if j.NoSwitch {
@@ -102,11 +130,22 @@ func (j Job) String() string {
 	if j.Outstanding > 0 {
 		fmt.Fprintf(&b, " out=%d", j.Outstanding)
 	}
-	if j.WBHTEntries > 0 {
-		fmt.Fprintf(&b, " wbht=%d", j.WBHTEntries)
-	}
-	if j.SnarfEntries > 0 {
-		fmt.Fprintf(&b, " snarf=%d", j.SnarfEntries)
+	for _, v := range []struct {
+		val  int
+		name string
+	}{
+		{j.WBHTEntries, "wbht"},
+		{j.SnarfEntries, "snarf"},
+		{j.ReuseEntries, "reuse"},
+		{j.ReuseMaxDist, "maxdist"},
+		{j.HybridEntries, "hybrid"},
+		{j.HybridThreshold, "thresh"},
+	} {
+		if v.val > 0 {
+			fmt.Fprintf(&b, " %s=%d", v.name, v.val)
+		} else if v.val < 0 {
+			fmt.Fprintf(&b, " %s=0", v.name)
+		}
 	}
 	for _, v := range []struct {
 		on   bool

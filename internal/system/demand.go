@@ -62,28 +62,32 @@ func (s *System) combineDemand(cache l2Handle, key uint64, kind coherence.TxnKin
 		// meantime, and snooping the claim would invalidate that only
 		// dirty copy (and the L3's). Restart as a full RWITM without
 		// snooping anyone.
-		s.commitUpgrade(cache, key, now)
+		s.commitUpgrade(cache, key, now, false, false)
 		return
 	}
 
-	// The snarf reuse tables observe every demand miss on the bus
-	// ("missed on either locally or by another L2 cache"), and the
-	// Table 2 tracker scores write-back reuse.
-	if s.snarfing() {
-		for _, c := range s.l2s {
-			if t := c.SnarfTable(); t != nil {
-				t.RecordMiss(key)
-			}
-		}
-	}
+	// The policy chip observes every demand miss on the bus (the snarf
+	// reuse tables record it: "missed on either locally or by another
+	// L2 cache"), and the Table 2 tracker scores write-back reuse.
+	s.policy.ObserveDemandMiss(key)
 	s.reuse.recordDemandMiss(key)
+
+	// A non-stale ownership claim asks the policy whether to update the
+	// known sharers in place instead of invalidating them (the hybrid
+	// update/invalidate policy; always false for the paper mechanisms).
+	useUpdate := kind == coherence.Upgrade && s.policy.UseUpdate(key)
 
 	responses := s.responses[:0]
 	for _, peer := range s.l2s {
 		if peer.ID() == cache.ID() {
 			continue
 		}
-		resp := peer.SnoopDemand(key, kind)
+		var resp coherence.Response
+		if useUpdate {
+			resp = peer.SnoopUpdate(key)
+		} else {
+			resp = peer.SnoopDemand(key, kind)
+		}
 		if resp == coherence.RespNull {
 			// The castout buffer snoops too: a queued write back supplies
 			// data like an array copy would, and an invalidating
@@ -113,19 +117,24 @@ func (s *System) combineDemand(cache l2Handle, key uint64, kind coherence.TxnKin
 	if s.lat != nil && kind != coherence.Upgrade {
 		s.lat.DemandCombine(cache.ID(), key, out.Source, now)
 	}
+	s.policy.ObserveDemandOutcome(cache.ID(), key, kind, out)
 
 	if kind == coherence.Upgrade {
-		s.commitUpgrade(cache, key, now)
+		s.commitUpgrade(cache, key, now, useUpdate, out.SharedElsewhere)
 		return
 	}
 	s.commitFill(cache, key, kind, out, now)
 }
 
-// commitUpgrade finishes an ownership claim: peers and the L3 have
-// invalidated their copies during the snoop; our line becomes Modified.
-// If a racing transaction invalidated our copy between issue and
-// combine, the claim restarts as a full RWITM.
-func (s *System) commitUpgrade(cache l2Handle, key uint64, now config.Cycles) {
+// commitUpgrade finishes an ownership claim. On the invalidate path
+// (the protocol default) peers and the L3 relinquished their copies
+// during the snoop and our line becomes Modified. On the update path
+// (hybrid update/invalidate policy) peers kept demoted-Shared copies:
+// the writer becomes Tagged when sharers survived — pushing the new
+// data to them across the data ring — and Modified otherwise. If a
+// racing transaction invalidated our copy between issue and combine,
+// the claim restarts as a full RWITM either way.
+func (s *System) commitUpgrade(cache l2Handle, key uint64, now config.Cycles, update, sharers bool) {
 	if !cache.State(key).Valid() {
 		s.upgradeRestarts++
 		if s.auditor != nil {
@@ -145,13 +154,29 @@ func (s *System) commitUpgrade(cache l2Handle, key uint64, now config.Cycles) {
 		return
 	}
 	s.upgrades++
-	if s.auditor != nil {
+	st := coherence.Modified
+	if update {
+		s.upgradeUpdates++
+		if sharers {
+			// At least one peer copy (or in-flight castout) survived the
+			// snoop as a plain sharer: we stay its dirty supplier and the
+			// update push occupies one data-ring beat (fire and forget —
+			// the store's completion is ordered at the combine, like
+			// every ownership transition).
+			st = coherence.Tagged
+			s.updatePushes++
+			s.ring.ReserveData(now)
+		}
+		if s.auditor != nil {
+			s.auditor.OnUpdate(cache.ID(), key, st)
+		}
+	} else if s.auditor != nil {
 		s.auditor.OnUpgrade(cache.ID(), key, false)
 	}
 	if s.lat != nil {
 		s.lat.DemandComplete(cache.ID(), key, now)
 	}
-	cache.SetState(key, coherence.Modified)
+	cache.SetState(key, st)
 	loads, stores := cache.TakeWaiters(key)
 	for _, w := range loads {
 		w(now)
@@ -239,9 +264,12 @@ func (s *System) fillDataReady(d sim.EventData) {
 // directly and a queued entry pumps the write-back machinery in place.
 // Shard-context evictions go through (*shard).handleVictim instead.
 func (s *System) handleVictimGlobal(cache l2Handle, vKey uint64, vState coherence.State, now config.Cycles) {
-	wbhtActive := s.wbhtEnabled() && s.rswitch.Active(now)
+	// Active (mutating) advances the retry-switch window; it runs only
+	// for switch-gated policies so ungated runs never touch the switch
+	// outside round boundaries (short-circuit order is load-bearing).
+	switchActive := s.policy.GatedBySwitch() && s.rswitch.Active(now)
 	inL3 := s.l3.Contains(vKey) // oracle peek, used only for scoring
-	action := cache.ProcessVictim(vKey, vState, wbhtActive, inL3)
+	action := cache.ProcessVictim(vKey, vState, switchActive, inL3)
 	if s.tracer != nil {
 		s.tracer.Victim(now, cache.ID(), vKey, vState.String(), action.String(), inL3)
 	}

@@ -9,6 +9,7 @@ import (
 	"cmpcache/internal/metrics"
 	"cmpcache/internal/stats"
 	"cmpcache/internal/txlat"
+	"cmpcache/internal/wbpolicy"
 )
 
 // WBHTStats aggregates the Write Back History Tables across L2s.
@@ -106,6 +107,18 @@ type Results struct {
 	WBHT  WBHTStats
 	Snarf SnarfStats
 
+	// Policy carries counters specific to plug-in write-back policies
+	// (reuse-distance gating, hybrid update/invalidate). It is nil for
+	// the paper mechanisms so their JSON exports keep unchanged bytes.
+	Policy *wbpolicy.Stats `json:",omitempty"`
+
+	// Update-mode ownership claims (hybrid update/invalidate policy).
+	// UpgradeUpdates counts claims committed as updates; UpdatePushes
+	// the subset that found live sharers and pushed data to them. Both
+	// are omitted when zero so paper-mechanism exports are unchanged.
+	UpgradeUpdates uint64 `json:",omitempty"`
+	UpdatePushes   uint64 `json:",omitempty"`
+
 	// Adaptive switch activity.
 	SwitchActiveWindows uint64
 	SwitchTotalWindows  uint64
@@ -202,6 +215,10 @@ func (s *System) results() *Results {
 
 		UpgradeRestarts: s.upgradeRestarts,
 		SnarfFallbacks:  s.snarfFallbacks,
+
+		Policy:         s.policy.Stats(),
+		UpgradeUpdates: s.upgradeUpdates,
+		UpdatePushes:   s.updatePushes,
 
 		ResidualL3QueueTokens: s.l3.QueueInUse(),
 
@@ -341,6 +358,16 @@ func (r *Results) Summary() string {
 			r.Snarf.Offers, r.Snarf.Installs, r.PctWBSnarfed(), r.WBSquashedPeer)
 		p("snarfed-line use     %.1f%% locally, %.1f%% interventions",
 			r.PctSnarfedUsedLocally(), r.PctSnarfedInterventions())
+	}
+	if r.Config.Mechanism == config.ReuseDist && r.Policy != nil {
+		p("reuse-dist sketch    %d samples over %d evictions, %d cold passes",
+			r.Policy.SketchSamples, r.Policy.SketchEvictions, r.Policy.PredictCold)
+		p("reuse-dist gating    %d consults, %d aborts (%d with line already in L3)",
+			r.Policy.PredictConsults, r.Policy.PredictAborts, r.Policy.AbortsLineInL3)
+	}
+	if r.Config.Mechanism == config.HybridUI && r.Policy != nil {
+		p("hybrid upd/inv       %d scored reads; upgrades: %d updates (%d pushes), %d invalidates",
+			r.Policy.ScoredReads, r.UpgradeUpdates, r.UpdatePushes, r.Policy.InvalidateUpgrades)
 	}
 	p("ring                 addr util %.1f%%, data util %.1f%%",
 		100*r.AddressUtil, 100*r.DataUtil)

@@ -244,6 +244,15 @@ func (sh *shard) resolve(p *pendingAccess) {
 		}
 		sh.finishAccess(p, now)
 
+	case probeHitStoreUpgrade:
+		// A store hit an Exclusive line: commit the silent E→M upgrade
+		// here — through SetState and the store-hit observation, exactly
+		// like the completeFill path — rather than as a Probe side
+		// effect invisible to the hooks.
+		cache.SetState(key, coherence.Modified)
+		sh.logStoreHit(now, key)
+		sh.finishAccess(p, now)
+
 	case probeWBBufferHit:
 		// The line was caught in the write-back queue before leaving the
 		// chip: cancel the write back and put the line home.
@@ -301,7 +310,7 @@ func (sh *shard) resolve(p *pendingAccess) {
 		if isStore {
 			kind = coherence.RWITM
 		}
-		cache.CountMiss()
+		cache.CountMiss(key)
 		cache.AllocMSHR(key, kind)
 		cache.AttachMSHR(key, isStore, p.completeFn)
 		sh.logDemandIssued(now, key, p.issued)
@@ -374,9 +383,9 @@ func (sh *shard) handleVictim(vKey uint64, vState coherence.State, now config.Cy
 	s := sh.sys
 	// ActiveNow (not Active): the coordinator advanced the switch's
 	// window at the round boundary; shard context must not mutate it.
-	wbhtActive := s.wbhtEnabled() && s.rswitch.ActiveNow()
+	switchActive := s.policy.GatedBySwitch() && s.rswitch.ActiveNow()
 	inL3 := s.l3.Contains(vKey) // oracle peek, used only for scoring
-	action := sh.cache.ProcessVictim(vKey, vState, wbhtActive, inL3)
+	action := sh.cache.ProcessVictim(vKey, vState, switchActive, inL3)
 	sh.logVictim(now, vKey, vState, action, inL3, s.rswitch.ActiveNow())
 	if action == l2VictimQueued {
 		sh.postPumpWB(now)

@@ -39,6 +39,7 @@ import (
 	"cmpcache/internal/sim"
 	"cmpcache/internal/trace"
 	"cmpcache/internal/txlat"
+	"cmpcache/internal/wbpolicy"
 )
 
 // System is one fully wired simulated chip.
@@ -54,6 +55,11 @@ type System struct {
 	ring      *ring.Ring
 	collector *coherence.Collector
 	rswitch   *core.RetrySwitch
+
+	// policy is the configured write-back policy's chip-wide half; its
+	// per-L2 agents live inside the l2.Caches. All chip hooks run at
+	// bus combine events (serial phase).
+	policy wbpolicy.Chip
 
 	// workers is the parallel-phase goroutine count (1 = fully serial
 	// execution of the identical round structure).
@@ -108,6 +114,8 @@ type System struct {
 	fillsFromL3     uint64
 	fillsFromMem    uint64
 	upgrades        uint64
+	upgradeUpdates  uint64 // upgrades that updated sharers in place (hybridui)
+	updatePushes    uint64 // update commits that pushed data to surviving sharers
 	demandTxns      uint64
 	wbTxns          uint64
 	wbSquashedByL3  uint64
@@ -144,8 +152,9 @@ func New(cfg config.Config, tr *trace.Trace) (*System, error) {
 		everInL3:  make(map[uint64]struct{}),
 		workers:   1,
 	}
+	s.policy = wbpolicy.New(&s.cfg)
 	for i := 0; i < cfg.NumL2(); i++ {
-		s.l2s = append(s.l2s, l2.New(i, &s.cfg))
+		s.l2s = append(s.l2s, l2.New(i, &s.cfg, s.policy.Agent(i)))
 	}
 	s.wbInFlight = make([]bool, cfg.NumL2())
 	s.responses = make([]coherence.AgentResponse, 0, cfg.NumL2()+2)
@@ -299,17 +308,6 @@ func (s *System) eventsFired() uint64 {
 		n += sh.engine.Fired()
 	}
 	return n
-}
-
-// snarfing reports whether L2-to-L2 write-back absorption is active.
-func (s *System) snarfing() bool {
-	return s.cfg.Mechanism == config.Snarf || s.cfg.Mechanism == config.Combined
-}
-
-// wbhtEnabled reports whether the WBHT mechanism is configured (the
-// retry switch decides whether it is consulted at any instant).
-func (s *System) wbhtEnabled() bool {
-	return s.cfg.Mechanism == config.WBHT || s.cfg.Mechanism == config.Combined
 }
 
 // DebugWatchdog installs a periodic progress probe: every hundred

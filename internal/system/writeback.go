@@ -13,6 +13,7 @@ type l2Handle = *l2.Cache
 
 const (
 	probeHit             = l2.ProbeHit
+	probeHitStoreUpgrade = l2.ProbeHitStoreUpgrade
 	probeHitNeedsUpgrade = l2.ProbeHitNeedsUpgrade
 	probeWBBufferHit     = l2.ProbeWBBufferHit
 	probeMiss            = l2.ProbeMiss
@@ -57,16 +58,10 @@ func (s *System) pumpWB(l2idx int, now config.Cycles) {
 func (s *System) combineWB(cache l2Handle, key uint64, kind coherence.TxnKind, snarfable bool) {
 	now := s.engine.Now()
 
-	// Every write back on the bus updates the snarf reuse tables ("The
-	// tag for a line is entered into the table when the line is written
-	// back by any L2 cache").
-	if s.snarfing() {
-		for _, c := range s.l2s {
-			if t := c.SnarfTable(); t != nil {
-				t.RecordWriteBack(key)
-			}
-		}
-	}
+	// Every write back on the bus is observed by the policy chip (the
+	// snarf reuse tables record it: "The tag for a line is entered into
+	// the table when the line is written back by any L2 cache").
+	s.policy.ObserveWriteBack(key)
 
 	l3resp := s.l3.SnoopWB(key, kind)
 	if kind == coherence.CleanWB && l3resp != coherence.RespWBRedundant {
@@ -78,7 +73,7 @@ func (s *System) combineWB(cache l2Handle, key uint64, kind coherence.TxnKind, s
 	}
 	responses := append(s.responses[:0], coherence.AgentResponse{Agent: agentL3, Resp: l3resp})
 	var peerSquasher l2Handle
-	if s.snarfing() {
+	if s.policy.SnoopsWBRing() {
 		for _, peer := range s.l2s {
 			if peer.ID() == cache.ID() {
 				continue
@@ -103,24 +98,12 @@ func (s *System) combineWB(cache l2Handle, key uint64, kind coherence.TxnKind, s
 		s.auditor.OnTokenAcquired()
 	}
 
-	// The WBHT learns from the L3's snoop response to clean write backs
-	// (Section 2, step 3) — on the writing L2's table, or on every
-	// table when the Figure 3 global-allocation variant is enabled. The
-	// table is kept up to date even while the retry switch has disabled
-	// its use.
-	if s.wbhtEnabled() && kind == coherence.CleanWB {
-		l3HasLine := l3resp == coherence.RespWBRedundant
-		if l3HasLine {
-			if s.cfg.WBHT.GlobalAllocate {
-				for _, c := range s.l2s {
-					if w := c.WBHT(); w != nil {
-						w.Allocate(key)
-					}
-				}
-			} else if w := cache.WBHT(); w != nil {
-				w.Allocate(key)
-			}
-		}
+	// The policy chip learns from the L3's snoop response to clean
+	// write backs (Section 2, step 3: the WBHT allocation point,
+	// writer-local or global per the Figure 3 variant). Tables are kept
+	// up to date even while the retry switch has disabled their use.
+	if kind == coherence.CleanWB {
+		s.policy.ObserveCleanWBOutcome(cache.ID(), key, l3resp == coherence.RespWBRedundant)
 	}
 
 	entry, cancelled := cache.CompleteWB(key)
