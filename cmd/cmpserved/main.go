@@ -4,7 +4,10 @@
 // every result in a two-level (memory L1 / disk L2) content-addressed
 // cache. Because the simulator is bit-deterministic, a cache hit is the
 // exact bytes a fresh run would produce — resubmitting a grid that has
-// already been computed costs zero simulation work.
+// already been computed costs zero simulation work. Grids may mix
+// synthetic workloads with captured traces (the request's "traces"
+// field names server-local sharded trace directories or flat trace
+// files); trace jobs are cached by capture content, never by path.
 //
 // Usage:
 //

@@ -5,10 +5,13 @@
 //
 //	cmpsim -workload trade2 -mechanism wbht -outstanding 6
 //	cmpsim -trace capture.cmpt -mechanism snarf
+//	cmpsim -trace capture.cmps -mechanism wbht
 //
 // The workload is either a built-in synthetic profile (tp, cpw2,
-// notesbench, trade2) or a trace file produced by tracegen (binary CMPT
-// or text format, selected by content).
+// notesbench, trade2), a flat trace file produced by tracegen (binary
+// CMPT or text format, selected by content), or a sharded trace
+// directory (tracegen -shards), which replays as a bounded-memory
+// stream.
 package main
 
 import (
@@ -123,9 +126,27 @@ func main() {
 		return
 	}
 
-	tr, err := loadTrace(*traceFile, *workloadName, *refs)
-	if err != nil {
-		fatalf("%v", err)
+	// The workload is either a sharded trace directory (streamed with
+	// bounded memory), a flat trace file, or a built-in synthetic
+	// profile.
+	var (
+		src     cmpcache.TraceSource
+		sharded *cmpcache.ShardedTrace
+		err     error
+	)
+	if *traceFile != "" && cmpcache.IsShardedTraceDir(*traceFile) {
+		sharded, err = cmpcache.OpenTraceDir(*traceFile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer sharded.Close()
+		src = sharded
+	} else {
+		tr, lerr := loadTrace(*traceFile, *workloadName, *refs)
+		if lerr != nil {
+			fatalf("%v", lerr)
+		}
+		src = trace.NewMemSource(tr)
 	}
 
 	// Every attachment is observation-only, so all of them compose onto
@@ -159,7 +180,7 @@ func main() {
 		})
 	}
 
-	res, err := cmpcache.RunWith(cfg, tr, opts)
+	res, err := cmpcache.RunSourceWith(cfg, src, opts)
 	if tw != nil {
 		if cerr := tw.Close(); cerr != nil {
 			fatalf("trace-out: %v", cerr)
@@ -183,7 +204,7 @@ func main() {
 	}
 	if *latOut != "" {
 		run := cmpcache.RunLatencyFile{
-			Workload:    tr.Name,
+			Workload:    src.Name(),
 			Mechanism:   cfg.Mechanism.String(),
 			Outstanding: cfg.MaxOutstanding,
 			Cycles:      res.Cycles,
@@ -201,7 +222,7 @@ func main() {
 		}
 	} else {
 		fmt.Printf("workload             %s (%d refs, %d threads)\n",
-			tr.Name, len(tr.Records), tr.Threads)
+			src.Name(), src.Records(), src.Threads())
 		fmt.Print(res.Summary())
 	}
 	if auditFailed {
@@ -261,19 +282,7 @@ func loadTrace(path, workloadName string, refs int) (*cmpcache.Trace, error) {
 		}
 		return cmpcache.GenerateWorkload(workloadName)
 	}
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	tr, err := trace.ReadBinary(f)
-	if err == trace.ErrBadMagic {
-		if _, serr := f.Seek(0, 0); serr != nil {
-			return nil, serr
-		}
-		return trace.ReadText(f)
-	}
-	return tr, err
+	return trace.ReadFile(path)
 }
 
 func fatalf(format string, args ...any) {

@@ -7,6 +7,11 @@
 //	cmpsweep -workloads tp,trade2 -mechanisms base,wbht -outstanding 1-6
 //	cmpsweep -mechanisms snarf -table-sizes 512,2048,8192,32768 -workers 8
 //	cmpsweep -workloads all -mechanisms all -outstanding 6 -json out.json
+//	cmpsweep -traces tp.cmps -mechanisms all -outstanding 1-6
+//
+// The workload axis mixes built-in synthetic profiles (-workloads) with
+// captured traces (-traces: sharded trace directories or flat trace
+// files, replayed as bounded-memory streams and cached by content).
 //
 // The grid is the cross product of the axes. Every job is an
 // independent deterministic simulation, so exports are byte-identical
@@ -37,6 +42,7 @@ import (
 func main() {
 	var (
 		workloads   = flag.String("workloads", "all", "comma-separated workloads (tp,cpw2,notesbench,trade2) or all")
+		traces      = flag.String("traces", "", "comma-separated captured-trace inputs (sharded trace dirs or flat trace files) swept alongside the workloads; with -traces and no explicit -workloads, only the traces run")
 		mechanisms  = flag.String("mechanisms", "all", "comma-separated mechanisms (base,wbht,snarf,combined,reusedist,hybridui), all, or paper (the original four)")
 		outstanding = flag.String("outstanding", "6", "outstanding-miss axis: list and/or ranges, e.g. 1-6 or 1,2,4")
 		tableSizes  = flag.String("table-sizes", "", "table-entry axis for the active mechanism, e.g. 512,2048,8192 (empty = paper defaults)")
@@ -98,7 +104,19 @@ func main() {
 
 	plan := sweep.Plan{RefsPerThread: *refs}
 	var err error
-	if plan.Workloads, err = sweep.ParseWorkloads(*workloads); err != nil {
+	for _, tf := range strings.Split(*traces, ",") {
+		if tf = strings.TrimSpace(tf); tf != "" {
+			plan.TraceFiles = append(plan.TraceFiles, tf)
+		}
+	}
+	// With trace inputs and no explicit -workloads, the grid runs only
+	// the traces; "-workloads all" stays available to sweep both.
+	if len(plan.TraceFiles) == 0 || config.Explicit(flag.CommandLine, "workloads") {
+		if plan.Workloads, err = sweep.ParseWorkloads(*workloads); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if err = plan.Validate(); err != nil {
 		fatalf("%v", err)
 	}
 	if plan.Mechanisms, err = sweep.ParseMechanisms(*mechanisms); err != nil {
@@ -203,7 +221,7 @@ func printTable(w io.Writer, results []sweep.Result, elapsed time.Duration) erro
 	baselines := make(map[pair]uint64)
 	for _, r := range results {
 		if r.Job.Mechanism == config.Baseline && r.Err == nil {
-			baselines[pair{r.Job.Workload, r.Job.Outstanding}] = r.Results.Cycles
+			baselines[pair{jobWorkload(r.Job), r.Job.Outstanding}] = r.Results.Cycles
 		}
 	}
 	t := stats.NewTable(
@@ -211,19 +229,19 @@ func printTable(w io.Writer, results []sweep.Result, elapsed time.Duration) erro
 		"Workload", "Mechanism", "Out", "WBHT", "Snarf", "Cycles", "vs base", "L2 hit %", "L3 load hit %", "Wall")
 	for _, r := range results {
 		if r.Err != nil {
-			t.AddRowf(r.Job.Workload, r.Job.Mechanism, r.Job.Outstanding,
+			t.AddRowf(jobWorkload(r.Job), r.Job.Mechanism, r.Job.Outstanding,
 				r.Job.WBHTEntries, r.Job.SnarfEntries, "error: "+r.Err.Error(), "", "", "", "")
 			continue
 		}
 		improvement := ""
-		if base, ok := baselines[pair{r.Job.Workload, r.Job.Outstanding}]; ok && r.Job.Mechanism != config.Baseline {
+		if base, ok := baselines[pair{jobWorkload(r.Job), r.Job.Outstanding}]; ok && r.Job.Mechanism != config.Baseline {
 			improvement = fmt.Sprintf("%+.2f%%", stats.Improvement(base, r.Results.Cycles))
 		}
 		wall := fmt.Sprintf("%.2fs", r.Duration.Seconds())
 		if r.Cached {
 			wall = "cached"
 		}
-		t.AddRowf(r.Job.Workload, r.Job.Mechanism, r.Job.Outstanding,
+		t.AddRowf(jobWorkload(r.Job), r.Job.Mechanism, r.Job.Outstanding,
 			r.Job.WBHTEntries, r.Job.SnarfEntries, r.Results.Cycles, improvement,
 			fmt.Sprintf("%.2f", 100*r.Results.L2HitRate()),
 			fmt.Sprintf("%.2f", 100*r.Results.L3LoadHitRate()), wall)
@@ -265,7 +283,7 @@ func writeLatencyDir(dir string, results []sweep.Result) error {
 			continue
 		}
 		run := txlat.RunLatency{
-			Workload:    r.Job.Workload,
+			Workload:    jobWorkload(r.Job),
 			Mechanism:   r.Job.Mechanism.String(),
 			Outstanding: r.Job.Config().MaxOutstanding,
 			Cycles:      r.Results.Cycles,
@@ -310,6 +328,15 @@ func writeIndented(path string, v any) error {
 		return err
 	}
 	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// jobWorkload renders the job's workload column: the synthetic
+// workload name, or the trace input's base name for replay jobs.
+func jobWorkload(j sweep.Job) string {
+	if j.TraceFile != "" {
+		return "trace:" + filepath.Base(j.TraceFile)
+	}
+	return j.Workload
 }
 
 // jobSlug renders a job as a filesystem-safe file stem.

@@ -1,12 +1,16 @@
 // Command tracegen synthesizes a workload trace and writes it to a
-// file, optionally passing the raw reference stream through the per-core
-// L1 filter first (mirroring how the paper's L2-traffic traces were
-// captured on real machines).
+// file — or, with -shards, to a sharded trace directory (batched,
+// compressed, manifest-indexed; see DESIGN.md §17) that cmpsim,
+// cmpsweep and cmpserved replay with bounded memory. The raw reference
+// stream can optionally pass through the per-core L1 filter first
+// (mirroring how the paper's L2-traffic traces were captured on real
+// machines).
 //
 // Usage:
 //
 //	tracegen -workload tp -o tp.cmpt
 //	tracegen -workload trade2 -refs 100000 -l1-filter -text -o trade2.txt
+//	tracegen -workload tp -shards 4 -o tp.cmps
 package main
 
 import (
@@ -23,57 +27,106 @@ import (
 func main() {
 	var (
 		name     = flag.String("workload", "trade2", "built-in workload: tp, cpw2, notesbench, trade2")
-		out      = flag.String("o", "", "output file (default <workload>.cmpt)")
-		refs     = flag.Int("refs", 0, "references per thread (0 = profile default)")
-		seed     = flag.Uint64("seed", 0, "override the profile's seed (0 = default)")
+		out      = flag.String("o", "", "output file, or directory with -shards (default <workload>.cmpt / <workload>.cmps)")
+		refs     = flag.Int("refs", 0, "references per thread (unset = profile default; an explicit 0 is honored)")
+		seed     = flag.Uint64("seed", 0, "override the profile's seed (unset = profile default; an explicit 0 is honored)")
 		text     = flag.Bool("text", false, "write the human-readable text format")
 		l1Filter = flag.Bool("l1-filter", false, "filter the stream through per-core L1 caches")
+		shards   = flag.Int("shards", 0, "write a sharded trace directory with this many shard files (0 = single flat file)")
+		batchRec = flag.Int("batch-records", 0, "records per compressed batch in sharded output (0 = default)")
 	)
 	flag.Parse()
+
+	if *shards > 0 && *text {
+		fatalf("-shards and -text are mutually exclusive")
+	}
+	if *shards < 0 {
+		fatalf("-shards must be >= 0")
+	}
 
 	p, err := workload.ByName(*name)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	if *refs > 0 {
+	// Explicit-value detection, not zero-sentinels: `-refs 0` and
+	// `-seed 0` are real requests (an empty trace, the zero seed), so
+	// only flags actually given on the command line override.
+	if config.Explicit(flag.CommandLine, "refs") {
+		if *refs < 0 {
+			fatalf("-refs must be >= 0")
+		}
 		p.RefsPerThread = *refs
 	}
-	if *seed != 0 {
+	if config.Explicit(flag.CommandLine, "seed") {
 		p.Seed = *seed
 	}
 	tr, err := p.Generate()
 	if err != nil {
 		fatalf("%v", err)
 	}
+	cfg := config.Default()
 	if *l1Filter {
-		cfg := config.Default()
 		tr = cpu.FilterTrace(&cfg, tr)
 	}
 
 	path := *out
 	if path == "" {
-		path = p.Name + ".cmpt"
-		if *text {
+		switch {
+		case *shards > 0:
+			path = p.Name + ".cmps"
+		case *text:
 			path = p.Name + ".trace.txt"
+		default:
+			path = p.Name + ".cmpt"
 		}
 	}
+
+	if *shards > 0 {
+		man, err := trace.WriteSharded(path, tr, trace.ShardOptions{
+			Shards:       *shards,
+			BatchRecords: *batchRec,
+		})
+		if err != nil {
+			fatalf("writing %s: %v", path, err)
+		}
+		printSummary(path, tr, cfg.LineBytes)
+		fmt.Printf("sharded into %d files, content hash %s\n", len(man.Shards), man.ContentHash())
+		return
+	}
+
+	if err := writeFlat(path, tr, *text); err != nil {
+		fatalf("writing %s: %v", path, err)
+	}
+	printSummary(path, tr, cfg.LineBytes)
+}
+
+// writeFlat writes tr to path, reporting Close errors: the codecs
+// buffer, so a full disk can surface only when the file closes — a
+// dropped Close would report truncated output as success.
+func writeFlat(path string, tr *trace.Trace, text bool) error {
 	f, err := os.Create(path)
 	if err != nil {
-		fatalf("%v", err)
+		return err
 	}
-	defer f.Close()
-	if *text {
+	if text {
 		err = trace.WriteText(f, tr)
 	} else {
 		err = trace.WriteBinary(f, tr)
 	}
 	if err != nil {
-		fatalf("writing %s: %v", path, err)
+		f.Close()
+		return err
 	}
-	s := tr.Summarize(config.Default().LineBytes)
+	return f.Close()
+}
+
+// printSummary reports the written trace's shape. One line size drives
+// both the distinct-line count and the footprint figure.
+func printSummary(path string, tr *trace.Trace, lineBytes int) {
+	s := tr.Summarize(lineBytes)
 	fmt.Printf("wrote %s: %d records, %d threads, %d distinct lines (%.1f MB footprint), mean gap %.1f\n",
 		path, s.Records, tr.Threads, s.DistinctLines,
-		float64(s.FootprintBytes(128))/(1<<20), s.MeanGap)
+		float64(s.FootprintBytes(lineBytes))/(1<<20), s.MeanGap)
 }
 
 func fatalf(format string, args ...any) {

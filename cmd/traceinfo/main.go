@@ -1,9 +1,13 @@
-// Command traceinfo summarizes a trace file: record and thread counts,
-// operation mix, footprint, per-thread balance and gap statistics.
+// Command traceinfo summarizes a trace input: record and thread counts,
+// operation mix, footprint, per-thread balance and gap statistics. It
+// accepts flat trace files (binary CMPT or text, selected by content)
+// and sharded trace directories, which it summarizes as a stream
+// without materializing the capture.
 //
 // Usage:
 //
 //	traceinfo tp.cmpt [more.cmpt ...]
+//	traceinfo -verify tp.cmps
 package main
 
 import (
@@ -17,14 +21,15 @@ import (
 
 func main() {
 	lineBytes := flag.Int("line-bytes", 128, "cache line size for footprint accounting")
+	verify := flag.Bool("verify", false, "re-hash sharded trace contents against the manifest")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: traceinfo [-line-bytes N] <trace file>...")
+		fmt.Fprintln(os.Stderr, "usage: traceinfo [-line-bytes N] [-verify] <trace file or sharded dir>...")
 		os.Exit(2)
 	}
 	exit := 0
 	for _, path := range flag.Args() {
-		if err := describe(path, *lineBytes); err != nil {
+		if err := describe(path, *lineBytes, *verify); err != nil {
 			fmt.Fprintf(os.Stderr, "traceinfo: %s: %v\n", path, err)
 			exit = 1
 		}
@@ -32,27 +37,48 @@ func main() {
 	os.Exit(exit)
 }
 
-func describe(path string, lineBytes int) error {
-	f, err := os.Open(path)
+func describe(path string, lineBytes int, verify bool) error {
+	if trace.IsShardedDir(path) {
+		return describeSharded(path, lineBytes, verify)
+	}
+	tr, err := trace.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	tr, err := trace.ReadBinary(f)
-	if err == trace.ErrBadMagic {
-		if _, serr := f.Seek(0, 0); serr != nil {
-			return serr
+	report(path, tr.Name, tr.Threads, tr.Summarize(lineBytes), lineBytes)
+	return nil
+}
+
+func describeSharded(path string, lineBytes int, verify bool) error {
+	sh, err := trace.OpenSharded(path)
+	if err != nil {
+		return err
+	}
+	defer sh.Close()
+	if verify {
+		if err := sh.Verify(); err != nil {
+			return err
 		}
-		tr, err = trace.ReadText(f)
 	}
+	s, err := trace.SummarizeSource(sh, lineBytes)
 	if err != nil {
 		return err
 	}
-	s := tr.Summarize(lineBytes)
+	report(path, sh.Name(), sh.Threads(), s, lineBytes)
+	man := sh.Manifest()
+	fmt.Printf("  shards          %d (batch %d records)\n", len(man.Shards), man.BatchRecords)
+	fmt.Printf("  content hash    %s\n", man.ContentHash())
+	if verify {
+		fmt.Printf("  verified        all shard hashes match\n")
+	}
+	return nil
+}
+
+func report(path, name string, threads int, s trace.Stats, lineBytes int) {
 	fmt.Printf("%s:\n", path)
-	fmt.Printf("  name            %s\n", tr.Name)
+	fmt.Printf("  name            %s\n", name)
 	fmt.Printf("  records         %d\n", s.Records)
-	fmt.Printf("  threads         %d\n", tr.Threads)
+	fmt.Printf("  threads         %d\n", threads)
 	fmt.Printf("  loads           %d (%.1f%%)\n", s.Loads, stats.Percent(uint64(s.Loads), uint64(s.Records)))
 	fmt.Printf("  stores          %d (%.1f%%)\n", s.Stores, stats.Percent(uint64(s.Stores), uint64(s.Records)))
 	fmt.Printf("  ifetches        %d (%.1f%%)\n", s.Ifetches, stats.Percent(uint64(s.Ifetches), uint64(s.Records)))
@@ -69,5 +95,4 @@ func describe(path string, lineBytes int) error {
 		}
 	}
 	fmt.Printf("  refs/thread     min %d, max %d\n", min, max)
-	return nil
 }

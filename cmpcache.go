@@ -68,6 +68,23 @@ type Trace = trace.Trace
 // Record is a single memory reference within a Trace.
 type Record = trace.Record
 
+// TraceSource is a streaming trace input: per-thread chunked iterators
+// over a capture that is never materialized whole. The sharded on-disk
+// store (OpenTraceDir) implements it with bounded memory.
+type TraceSource = trace.Source
+
+// ShardedTrace is the streaming reader over a sharded trace directory
+// written by tracegen -shards (or trace.WriteSharded); see DESIGN.md
+// §17.
+type ShardedTrace = trace.Sharded
+
+// IsShardedTraceDir reports whether path is a sharded trace directory.
+func IsShardedTraceDir(path string) bool { return trace.IsShardedDir(path) }
+
+// OpenTraceDir opens a sharded trace directory for streaming replay.
+// Close it when done.
+func OpenTraceDir(path string) (*ShardedTrace, error) { return trace.OpenSharded(path) }
+
 // Results carries every statistic a run produces, including the derived
 // metrics behind each of the paper's tables.
 type Results = system.Results
@@ -199,6 +216,30 @@ func MaxWorkers(cfg *Config) int { return system.MaxWorkers(cfg) }
 // its own methods.
 func RunWith(cfg Config, tr *Trace, opts RunOptions) (*Results, error) {
 	s, err := system.New(cfg, tr)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Probe != nil {
+		s.Attach(opts.Probe)
+	}
+	if opts.Auditor != nil {
+		s.AttachAuditor(opts.Auditor)
+	}
+	if opts.Latency != nil {
+		s.AttachLatency(opts.Latency)
+	}
+	if opts.Workers != 0 {
+		s.SetWorkers(opts.Workers)
+	}
+	return s.Run(), nil
+}
+
+// RunSourceWith is RunWith over a streaming trace source: thread feeds
+// pull chunked per-thread iterators, so replay memory is bounded by the
+// source's chunk size rather than the trace length. A completed run is
+// bit-identical to RunWith over the equivalent in-memory trace.
+func RunSourceWith(cfg Config, src TraceSource, opts RunOptions) (*Results, error) {
+	s, err := system.NewStream(cfg, src)
 	if err != nil {
 		return nil, err
 	}

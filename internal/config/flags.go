@@ -52,16 +52,24 @@ func RegisterOverrides(fs *flag.FlagSet) *Overrides {
 	return o
 }
 
-// Explicit reports whether the named flag was given on the command
-// line, regardless of its value. Valid only after the flag set parsed.
-func (o *Overrides) Explicit(name string) bool {
+// Explicit reports whether the named flag was given on fs's command
+// line, regardless of its value — the test every explicit-zero-capable
+// flag needs instead of comparing against the zero value. Valid only
+// after fs parsed.
+func Explicit(fs *flag.FlagSet, name string) bool {
 	set := false
-	o.fs.Visit(func(f *flag.Flag) {
+	fs.Visit(func(f *flag.Flag) {
 		if f.Name == name {
 			set = true
 		}
 	})
 	return set
+}
+
+// Explicit reports whether the named flag was given on the command
+// line, regardless of its value. Valid only after the flag set parsed.
+func (o *Overrides) Explicit(name string) bool {
+	return Explicit(o.fs, name)
 }
 
 // Apply materializes every explicitly-given override onto cfg. Flags

@@ -68,6 +68,30 @@ func TestOverridesExplicitZeroDistinguished(t *testing.T) {
 	}
 }
 
+// TestExplicitStandalone is the regression test for tracegen's
+// zero-sentinel flags: the standalone Explicit helper must report a flag
+// as given exactly when it appeared on the command line, including when
+// the given value equals the default — `-seed 0` and `-refs 0` are real
+// requests, not "unset".
+func TestExplicitStandalone(t *testing.T) {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	fs.Int("refs", 0, "")
+	fs.Uint64("seed", 0, "")
+	if err := fs.Parse([]string{"-refs", "0"}); err != nil {
+		t.Fatal(err)
+	}
+	if !Explicit(fs, "refs") {
+		t.Fatal("Explicit(refs) = false after -refs 0 was parsed")
+	}
+	if Explicit(fs, "seed") {
+		t.Fatal("Explicit(seed) = true for a flag never given")
+	}
+	if Explicit(fs, "no-such-flag") {
+		t.Fatal("Explicit on an unregistered name = true")
+	}
+}
+
 func TestOverridesApplyEveryKnob(t *testing.T) {
 	o := parseOverrides(t,
 		"-wbht-entries", "1024",

@@ -14,6 +14,7 @@
 package cpu
 
 import (
+	"fmt"
 	"math/bits"
 
 	"cmpcache/internal/config"
@@ -26,11 +27,16 @@ import (
 // called exactly once, at the simulation time the access completes.
 type IssueFunc func(tid int, op trace.Op, key uint64, done func(config.Cycles))
 
-// thread is one SMT hardware context.
+// thread is one SMT hardware context. recs is the thread's current
+// window into its reference stream: the whole stream on the in-memory
+// path (src nil), or one chunk at a time on the streaming path, where
+// draining recs refills it from src until the stream is exhausted.
 type thread struct {
 	id          int
 	recs        []trace.Record
 	idx         int
+	src         trace.Stream // nil on the in-memory path
+	exhausted   bool         // src returned its final chunk
 	outstanding int
 	lastIssue   config.Cycles
 	wakePending bool
@@ -88,6 +94,67 @@ func New(engine *sim.Engine, cfg *config.Config, streams [][]trace.Record, issue
 	return c
 }
 
+// NewStreams builds a thread complex fed by chunked per-thread streams
+// (trace.Source.Stream) instead of materialized record slices; nil
+// entries are idle threads. Each thread holds one chunk at a time, so
+// replay memory is bounded by the source's chunk size rather than the
+// trace length. The first chunk of every stream is fetched eagerly so
+// open/decode errors surface at construction; a mid-run stream error
+// panics — the simulation cannot meaningfully continue on a truncated
+// stream, and the sweep worker's recover converts the panic into a
+// per-job error.
+func NewStreams(engine *sim.Engine, cfg *config.Config, streams []trace.Stream, issue IssueFunc) (*Complex, error) {
+	if issue == nil {
+		panic("cpu: nil issue function")
+	}
+	c := &Complex{
+		engine:    engine,
+		issue:     issue,
+		lineShift: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+		max:       cfg.MaxOutstanding,
+	}
+	c.hTryIssue = func(d sim.EventData) { c.tryIssue(d.Ptr.(*thread)) }
+	for i, src := range streams {
+		th := &thread{id: i, src: src}
+		th.doneFn = func(at config.Cycles) { c.complete(th, at) }
+		if src == nil {
+			th.done = true
+		} else {
+			chunk, err := src.NextChunk()
+			if err != nil {
+				return nil, fmt.Errorf("cpu: thread %d stream: %w", i, err)
+			}
+			if len(chunk) == 0 {
+				th.exhausted = true
+				th.done = true
+			} else {
+				th.recs = chunk
+				c.active++
+			}
+		}
+		c.threads = append(c.threads, th)
+	}
+	return c, nil
+}
+
+// refill advances the thread's stream window to its next chunk,
+// reporting whether more records are available.
+func (c *Complex) refill(th *thread) bool {
+	if th.src == nil || th.exhausted {
+		return false
+	}
+	chunk, err := th.src.NextChunk()
+	if err != nil {
+		panic(fmt.Sprintf("cpu: thread %d stream: %v", th.id, err))
+	}
+	if len(chunk) == 0 {
+		th.exhausted = true
+		return false
+	}
+	th.recs, th.idx = chunk, 0
+	return true
+}
+
 // Start schedules each thread's first issue attempt at cycle zero.
 func (c *Complex) Start() {
 	for _, th := range c.threads {
@@ -103,7 +170,10 @@ func (c *Complex) Start() {
 func (c *Complex) tryIssue(th *thread) {
 	th.wakePending = false
 	now := c.engine.Now()
-	for th.idx < len(th.recs) && th.outstanding < c.max {
+	for th.outstanding < c.max {
+		if th.idx == len(th.recs) && !c.refill(th) {
+			break
+		}
 		r := th.recs[th.idx]
 		eligible := th.lastIssue + config.Cycles(r.Gap)
 		if eligible > now {
@@ -139,6 +209,11 @@ func (c *Complex) complete(th *thread, at config.Cycles) {
 
 func (c *Complex) checkDone(th *thread, now config.Cycles) {
 	if th.done || th.idx < len(th.recs) || th.outstanding > 0 {
+		return
+	}
+	if th.src != nil && !th.exhausted {
+		// The current chunk drained but the stream has more; the next
+		// tryIssue will refill.
 		return
 	}
 	th.done = true

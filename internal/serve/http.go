@@ -7,6 +7,7 @@ import (
 	"net/http"
 
 	"cmpcache/internal/sweep"
+	"cmpcache/internal/trace"
 	"cmpcache/internal/workload"
 )
 
@@ -19,7 +20,11 @@ type SubmitRequest struct {
 	// ignored.
 	Jobs []sweep.Job `json:"jobs,omitempty"`
 
-	Workloads   []string `json:"workloads,omitempty"`
+	Workloads []string `json:"workloads,omitempty"`
+	// Traces are captured-trace inputs (sharded trace directories or
+	// flat trace files, as server-local paths) swept alongside — or
+	// instead of — the synthetic workloads.
+	Traces      []string `json:"traces,omitempty"`
 	Mechanisms  []string `json:"mechanisms,omitempty"`
 	Outstanding []int    `json:"outstanding,omitempty"`
 	TableSizes  []int    `json:"table_sizes,omitempty"`
@@ -30,6 +35,15 @@ type SubmitRequest struct {
 func (r *SubmitRequest) expand() ([]sweep.Job, error) {
 	if len(r.Jobs) > 0 {
 		for _, j := range r.Jobs {
+			if j.TraceFile != "" {
+				if j.Workload != "" {
+					return nil, fmt.Errorf("job sets both TraceFile %q and Workload %q", j.TraceFile, j.Workload)
+				}
+				if _, err := trace.Describe(j.TraceFile); err != nil {
+					return nil, err
+				}
+				continue
+			}
 			if _, err := workload.ByName(j.Workload); err != nil {
 				return nil, err
 			}
@@ -38,6 +52,7 @@ func (r *SubmitRequest) expand() ([]sweep.Job, error) {
 	}
 	plan := sweep.Plan{
 		Workloads:     r.Workloads,
+		TraceFiles:    r.Traces,
 		Outstanding:   r.Outstanding,
 		TableSizes:    r.TableSizes,
 		RefsPerThread: r.Refs,

@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cmpcache/internal/trace"
+	"cmpcache/internal/workload"
+)
+
+// TestServerTraceSubmit submits a captured-trace job over HTTP, then
+// rewrites the capture in place and resubmits: the second run must be a
+// cache miss (the key follows the content, not the path) with a
+// different simulated outcome.
+func TestServerTraceSubmit(t *testing.T) {
+	gen := func(refs int) *trace.Trace {
+		p, err := workload.ByName("tp")
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.RefsPerThread = refs
+		tr, err := p.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	dir := filepath.Join(t.TempDir(), "capture.cmps")
+	if _, err := trace.WriteSharded(dir, gen(500), trace.ShardOptions{Shards: 2, BatchRecords: 128}); err != nil {
+		t.Fatal(err)
+	}
+
+	d := mustDaemon(t, Options{Workers: 2})
+	defer d.Shutdown(context.Background())
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	body := fmt.Sprintf(`{"traces":[%q],"mechanisms":["baseline"]}`, dir)
+	post := func() SubmitResponse {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+			t.Fatalf("submit = %d", resp.StatusCode)
+		}
+		var out SubmitResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		if len(out.Jobs) != 1 {
+			t.Fatalf("submitted %d jobs, want 1", len(out.Jobs))
+		}
+		return out
+	}
+
+	first := post()
+	firstBytes := pollDone(t, srv.URL, first.Jobs[0].ID)
+	if stats := d.Snapshot(); stats.SimRuns != 1 {
+		t.Fatalf("SimRuns = %d after first trace run, want 1", stats.SimRuns)
+	}
+
+	// Same capture resubmitted: pure cache hit, zero new simulation.
+	again := post()
+	if !again.Jobs[0].Cached {
+		t.Fatalf("identical trace resubmission not served from cache: %+v", again.Jobs[0])
+	}
+	if !bytes.Equal(firstBytes, pollDone(t, srv.URL, again.Jobs[0].ID)) {
+		t.Fatal("cached trace result bytes differ")
+	}
+
+	// Rewrite the capture in place (same path, different content): the
+	// daemon must treat it as a new simulation, not serve stale bytes.
+	if _, err := trace.WriteSharded(dir, gen(600), trace.ShardOptions{Shards: 2, BatchRecords: 128}); err != nil {
+		t.Fatal(err)
+	}
+	edited := post()
+	editedBytes := pollDone(t, srv.URL, edited.Jobs[0].ID)
+	if edited.Jobs[0].Cached {
+		t.Fatal("edited trace served from cache — key followed the path, not the content")
+	}
+	if bytes.Equal(firstBytes, editedBytes) {
+		t.Fatal("edited trace produced byte-identical results")
+	}
+	if stats := d.Snapshot(); stats.SimRuns != 2 {
+		t.Fatalf("SimRuns = %d after edited rerun, want 2", stats.SimRuns)
+	}
+}
+
+// TestSubmitRejectsAmbiguousTraceJob: an explicit job naming both a
+// trace and a workload is a 400, not a simulation.
+func TestSubmitRejectsAmbiguousTraceJob(t *testing.T) {
+	d := mustDaemon(t, Options{Workers: 1})
+	defer d.Shutdown(context.Background())
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	body := `{"jobs":[{"Workload":"tp","TraceFile":"x.cmpt"}]}`
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("submit = %d, want 400", resp.StatusCode)
+	}
+}

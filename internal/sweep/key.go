@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"cmpcache/internal/config"
+	"cmpcache/internal/trace"
 	"cmpcache/internal/workload"
 )
 
@@ -24,7 +25,27 @@ import (
 // field declaration order nor map iteration order can change the
 // output, and defaulted job fields hash identically to their explicit
 // values because the config is materialized before serialization.
+// Trace-replay jobs key on the trace's content identity instead of a
+// workload profile: the material is {Config, Trace: FileRef}, where
+// FileRef carries the capture's SHA-256 (the manifest content hash for
+// sharded stores) but not its path. The struct shape differs from the
+// synthetic material — "Trace" vs. "Workload"+"Seed" keys — so a trace
+// replay can never alias the synthetic twin it was captured from, and
+// two traces differing in any byte hash apart.
 func KeyMaterial(j Job) ([]byte, error) {
+	if j.TraceFile != "" {
+		if j.Workload != "" {
+			return nil, fmt.Errorf("sweep: job sets both TraceFile %q and Workload %q", j.TraceFile, j.Workload)
+		}
+		ref, err := trace.Describe(j.TraceFile)
+		if err != nil {
+			return nil, err
+		}
+		return Canonical(struct {
+			Config config.Config
+			Trace  trace.FileRef
+		}{j.Config(), ref})
+	}
 	prof, err := workload.ByName(j.Workload)
 	if err != nil {
 		return nil, err

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"cmpcache/internal/config"
+	"cmpcache/internal/trace"
 	"cmpcache/internal/workload"
 )
 
@@ -15,7 +16,12 @@ import (
 // workloads, all four mechanisms, the configured outstanding default,
 // and the paper-default table sizes.
 type Plan struct {
-	Workloads   []string
+	Workloads []string
+	// TraceFiles are captured-trace inputs (sharded trace directories or
+	// flat trace files) swept alongside — or instead of — the synthetic
+	// workloads. When TraceFiles is non-empty and Workloads is empty, the
+	// grid runs only the traces (workloads do NOT default to "all").
+	TraceFiles  []string
 	Mechanisms  []config.Mechanism
 	Outstanding []int
 	// TableSizes overrides the active mechanism's table entries: WBHT
@@ -32,7 +38,7 @@ type Plan struct {
 // never contains trivially identical baseline jobs.
 func (p Plan) Jobs() []Job {
 	workloads := p.Workloads
-	if len(workloads) == 0 {
+	if len(workloads) == 0 && len(p.TraceFiles) == 0 {
 		workloads = workload.Names()
 	}
 	mechanisms := p.Mechanisms
@@ -48,15 +54,30 @@ func (p Plan) Jobs() []Job {
 		sizes = []int{0}
 	}
 
-	var jobs []Job
+	// Synthetic workloads and trace replays share the grid's other axes;
+	// a trace input replays its whole capture, so RefsPerThread applies
+	// only to synthesis.
+	type input struct{ workload, traceFile string }
+	inputs := make([]input, 0, len(workloads)+len(p.TraceFiles))
 	for _, w := range workloads {
+		inputs = append(inputs, input{workload: w})
+	}
+	for _, tf := range p.TraceFiles {
+		inputs = append(inputs, input{traceFile: tf})
+	}
+
+	var jobs []Job
+	for _, in := range inputs {
 		for _, o := range outstanding {
 			for _, m := range mechanisms {
 				base := Job{
-					Workload:      w,
-					Mechanism:     m,
-					Outstanding:   o,
-					RefsPerThread: p.RefsPerThread,
+					Workload:    in.workload,
+					TraceFile:   in.traceFile,
+					Mechanism:   m,
+					Outstanding: o,
+				}
+				if in.traceFile == "" {
+					base.RefsPerThread = p.RefsPerThread
 				}
 				if m == config.Baseline {
 					jobs = append(jobs, base)
@@ -85,12 +106,18 @@ func (p Plan) Jobs() []Job {
 	return jobs
 }
 
-// Validate checks that every named workload exists, so a misspelled
-// grid fails before any simulation starts.
+// Validate checks that every named workload exists and every trace
+// input resolves to a readable capture, so a misspelled grid or a
+// missing trace fails before any simulation starts.
 func (p Plan) Validate() error {
 	for _, w := range p.Workloads {
 		if _, err := workload.ByName(w); err != nil {
 			return err
+		}
+	}
+	for _, tf := range p.TraceFiles {
+		if _, err := trace.Describe(tf); err != nil {
+			return fmt.Errorf("sweep: trace %s: %w", tf, err)
 		}
 	}
 	return nil

@@ -38,8 +38,9 @@ type Simulator struct {
 	// any result-cache key. Set before the sweep starts.
 	Shards int
 
-	mu     sync.Mutex
-	traces map[traceKey]*traceEntry
+	mu      sync.Mutex
+	traces  map[traceKey]*traceEntry
+	sources map[sourceKey]*sourceEntry
 }
 
 type traceKey struct {
@@ -53,9 +54,26 @@ type traceEntry struct {
 	err   error
 }
 
+// sourceKey keys opened trace files by path AND content hash: a file
+// edited in place between jobs is reopened, never served stale from the
+// handle cache.
+type sourceKey struct {
+	path string
+	sha  string
+}
+
+type sourceEntry struct {
+	ready chan struct{}
+	src   trace.Source
+	err   error
+}
+
 // NewSimulator returns a Simulator with an empty trace cache.
 func NewSimulator() *Simulator {
-	return &Simulator{traces: make(map[traceKey]*traceEntry)}
+	return &Simulator{
+		traces:  make(map[traceKey]*traceEntry),
+		sources: make(map[sourceKey]*sourceEntry),
+	}
 }
 
 // trace returns the cached trace for (name, refs), generating it at
@@ -93,23 +111,75 @@ func generate(name string, refs int) (*trace.Trace, error) {
 	return p.Generate()
 }
 
+// source returns the opened trace source for path, opening it at most
+// once per content version even under concurrent callers. Sharded
+// directories stream from disk; flat files load into memory. Sources
+// are shared across concurrent runs — per-thread streams are
+// independent and the sharded reader serves them with positioned reads.
+func (s *Simulator) source(ctx context.Context, path string) (trace.Source, error) {
+	ref, err := trace.Describe(path)
+	if err != nil {
+		return nil, err
+	}
+	key := sourceKey{path: path, sha: ref.SHA256}
+	s.mu.Lock()
+	e, ok := s.sources[key]
+	if !ok {
+		e = &sourceEntry{ready: make(chan struct{})}
+		s.sources[key] = e
+	}
+	s.mu.Unlock()
+	if !ok {
+		e.src, e.err = openSource(path)
+		close(e.ready)
+		return e.src, e.err
+	}
+	select {
+	case <-e.ready:
+		return e.src, e.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func openSource(path string) (trace.Source, error) {
+	if trace.IsShardedDir(path) {
+		return trace.OpenSharded(path)
+	}
+	t, err := trace.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return trace.NewMemSource(t), nil
+}
+
 // Run executes one job to completion, or until ctx is cancelled: the
 // simulation polls ctx between events (system.RunContext), so a
 // cancelled or timed-out job stops within milliseconds and its
 // goroutine exits — nothing keeps running in the background. A
 // completed run is bit-identical regardless of the ctx used.
 func (s *Simulator) Run(ctx context.Context, j Job) (*system.Results, error) {
-	tr, err := s.trace(ctx, j.Workload, j.RefsPerThread)
-	if err != nil {
-		return nil, err
-	}
 	cfg := j.Config()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	sys, err := system.New(cfg, tr)
-	if err != nil {
-		return nil, err
+	var sys *system.System
+	if j.TraceFile != "" {
+		src, err := s.source(ctx, j.TraceFile)
+		if err != nil {
+			return nil, err
+		}
+		if sys, err = system.NewStream(cfg, src); err != nil {
+			return nil, err
+		}
+	} else {
+		tr, err := s.trace(ctx, j.Workload, j.RefsPerThread)
+		if err != nil {
+			return nil, err
+		}
+		if sys, err = system.New(cfg, tr); err != nil {
+			return nil, err
+		}
 	}
 	if s.MetricsInterval > 0 {
 		sys.Attach(metrics.NewProbe(metrics.Config{Interval: s.MetricsInterval}))

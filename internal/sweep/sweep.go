@@ -56,6 +56,14 @@ type Job struct {
 	Mechanism   config.Mechanism
 	Outstanding int // 0 = config default (6)
 
+	// TraceFile, when non-empty, replays a captured trace — a sharded
+	// trace directory or a flat binary/text trace file — instead of
+	// synthesizing Workload (which must then be empty). The trace's
+	// content identity (trace.Describe), not its path, flows into the
+	// job's cache key: two paths holding identical captures share a
+	// result, and editing a file in place changes the key.
+	TraceFile string
+
 	// Table-size overrides (0 = mechanism default, negative = explicit 0).
 	WBHTEntries  int
 	SnarfEntries int
@@ -126,7 +134,11 @@ func (j Job) Config() config.Config {
 // omitting fields left at their defaults.
 func (j Job) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s/%s", j.Workload, j.Mechanism)
+	if j.TraceFile != "" {
+		fmt.Fprintf(&b, "trace:%s/%s", j.TraceFile, j.Mechanism)
+	} else {
+		fmt.Fprintf(&b, "%s/%s", j.Workload, j.Mechanism)
+	}
 	if j.Outstanding > 0 {
 		fmt.Fprintf(&b, " out=%d", j.Outstanding)
 	}

@@ -102,9 +102,10 @@ type busPost struct {
 	txn  coherence.TxnKind
 }
 
-// newShard wires shard idx over streams (this shard's thread
-// sub-slice).
-func newShard(s *System, idx int, streams [][]trace.Record, traceRecs int) *shard {
+// newShardCore builds the shard shell common to both feeds: the access
+// pool, the resolve handler and the engine. The caller attaches the
+// thread complex and calls size().
+func newShardCore(s *System, idx int) *shard {
 	sh := &shard{sys: s, idx: idx, cache: s.l2s[idx], engine: sim.NewEngine()}
 	sh.accessPool = sim.NewPool(func() *pendingAccess {
 		p := &pendingAccess{}
@@ -112,11 +113,20 @@ func newShard(s *System, idx int, streams [][]trace.Record, traceRecs int) *shar
 		return p
 	})
 	sh.hResolve = func(d sim.EventData) { sh.resolve(d.Ptr.(*pendingAccess)) }
-	sh.threads = cpu.New(sh.engine, &s.cfg,
-		streams, func(_ int, op trace.Op, key uint64, done func(config.Cycles)) {
-			sh.access(op, key, done)
-		})
+	return sh
+}
 
+// issueFn is the shard's cpu issue path, shared by both constructors.
+func (sh *shard) issueFn() cpu.IssueFunc {
+	return func(_ int, op trace.Op, key uint64, done func(config.Cycles)) {
+		sh.access(op, key, done)
+	}
+}
+
+// size pre-sizes the shard's event wheel and access pool from the
+// shard's trace record count.
+func (sh *shard) size(traceRecs int) {
+	s := sh.sys
 	perShard := s.cfg.ThreadsPerL2() * s.cfg.MaxOutstanding
 	events := perShard*8 + 64
 	if limit := 2*traceRecs + 64; events > limit {
@@ -128,7 +138,29 @@ func newShard(s *System, idx int, streams [][]trace.Record, traceRecs int) *shar
 		inflight = traceRecs
 	}
 	sh.accessPool.Prime(inflight)
+}
+
+// newShard wires shard idx over streams (this shard's thread
+// sub-slice).
+func newShard(s *System, idx int, streams [][]trace.Record, traceRecs int) *shard {
+	sh := newShardCore(s, idx)
+	sh.threads = cpu.New(sh.engine, &s.cfg, streams, sh.issueFn())
+	sh.size(traceRecs)
 	return sh
+}
+
+// newShardStream wires shard idx over chunked per-thread streams
+// (the bounded-memory replay path). Construction fails if any stream's
+// first chunk cannot be decoded.
+func newShardStream(s *System, idx int, streams []trace.Stream, traceRecs int) (*shard, error) {
+	sh := newShardCore(s, idx)
+	threads, err := cpu.NewStreams(sh.engine, &s.cfg, streams, sh.issueFn())
+	if err != nil {
+		return nil, err
+	}
+	sh.threads = threads
+	sh.size(traceRecs)
+	return sh, nil
 }
 
 // --- observation log appenders (shard context only) ---

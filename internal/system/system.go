@@ -128,18 +128,9 @@ type System struct {
 	upgradeRestarts uint64 // upgrade found its line invalidated; became RWITM
 }
 
-// New validates cfg, builds all components and loads tr's per-thread
-// streams. Run() executes the workload to completion.
-func New(cfg config.Config, tr *trace.Trace) (*System, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	if err := tr.Validate(); err != nil {
-		return nil, err
-	}
-	if tr.Threads > cfg.Threads() {
-		return nil, fmt.Errorf("system: trace has %d threads, chip has %d", tr.Threads, cfg.Threads())
-	}
+// newCore builds everything but the thread feed: components, policy,
+// and the bound event handlers. New and NewStream attach the shards.
+func newCore(cfg config.Config) *System {
 	s := &System{
 		cfg:       cfg,
 		engine:    sim.NewEngine(),
@@ -173,6 +164,22 @@ func New(cfg config.Config, tr *trace.Trace) (*System, error) {
 	s.hWBArriveL3 = s.wbArriveL3
 	s.hRetireL3Write = func(d sim.EventData) { s.retireL3Write(d.Key, coherence.TxnKind(d.Kind)) }
 	s.hReleaseL3Token = func(sim.EventData) { s.releaseL3Token() }
+	return s
+}
+
+// New validates cfg, builds all components and loads tr's per-thread
+// streams. Run() executes the workload to completion.
+func New(cfg config.Config, tr *trace.Trace) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	if tr.Threads > cfg.Threads() {
+		return nil, fmt.Errorf("system: trace has %d threads, chip has %d", tr.Threads, cfg.Threads())
+	}
+	s := newCore(cfg)
 
 	streams := tr.PerThread()
 	// Pad to the chip's thread count so thread->L2 mapping stays fixed.
@@ -194,6 +201,58 @@ func New(cfg config.Config, tr *trace.Trace) (*System, error) {
 	// can ever put in flight at once.
 	events := cfg.Threads()*cfg.MaxOutstanding*4 + 64
 	if limit := 2*len(tr.Records) + 64; events > limit {
+		events = limit
+	}
+	s.engine.Grow(events)
+	return s, nil
+}
+
+// NewStream is New over a streaming trace source: the thread feeds pull
+// chunked per-thread iterators (trace.Source.Stream) instead of
+// materialized record slices, so replay memory is bounded by the
+// source's chunk size rather than the trace length. A completed run is
+// bit-identical to New over the equivalent in-memory trace — the feed
+// only changes where records are buffered, never when they issue.
+func NewStream(cfg config.Config, src trace.Source) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if src.Threads() <= 0 {
+		return nil, fmt.Errorf("system: source has %d threads, must be positive", src.Threads())
+	}
+	if src.Threads() > cfg.Threads() {
+		return nil, fmt.Errorf("system: trace has %d threads, chip has %d", src.Threads(), cfg.Threads())
+	}
+	s := newCore(cfg)
+
+	// clamp converts a record count to the int sizing hints expect,
+	// saturating on (hypothetical) >2^62-record sources.
+	clamp := func(n int64) int {
+		if n > int64(1)<<31 {
+			return 1 << 31
+		}
+		return int(n)
+	}
+	tpl := cfg.ThreadsPerL2()
+	for i := 0; i < cfg.NumL2(); i++ {
+		streams := make([]trace.Stream, tpl)
+		var recs int64
+		for j := 0; j < tpl; j++ {
+			tid := i*tpl + j
+			if tid < src.Threads() && src.ThreadRecords(tid) > 0 {
+				streams[j] = src.Stream(tid)
+				recs += src.ThreadRecords(tid)
+			}
+		}
+		sh, err := newShardStream(s, i, streams, clamp(recs))
+		if err != nil {
+			return nil, err
+		}
+		s.shards = append(s.shards, sh)
+	}
+
+	events := cfg.Threads()*cfg.MaxOutstanding*4 + 64
+	if limit := 2*clamp(src.Records()) + 64; events > limit {
 		events = limit
 	}
 	s.engine.Grow(events)

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"strconv"
 	"strings"
 )
@@ -28,6 +29,17 @@ import (
 const (
 	magic         = "CMPT"
 	formatVersion = 1
+
+	// maxPrealloc caps how many records any header-declared count may
+	// preallocate. A corrupt 20-byte file can claim 2^60 records; trusting
+	// that count would OOM the process before a single record is read, so
+	// readers reserve at most this many up front and grow by append as
+	// real data arrives.
+	maxPrealloc = 1 << 20
+
+	// maxThreads bounds the thread count any codec accepts. Thread IDs
+	// are uint16, so nothing above 1<<16 can ever be referenced.
+	maxThreads = 1 << 16
 )
 
 // ErrBadMagic reports a stream that is not a CMPT trace.
@@ -118,17 +130,21 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 	if err != nil {
 		return nil, fmt.Errorf("trace: reading thread count: %w", err)
 	}
-	if threads == 0 || threads > 1<<16 {
+	if threads == 0 || threads > maxThreads {
 		return nil, fmt.Errorf("trace: implausible thread count %d", threads)
 	}
 	count, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, fmt.Errorf("trace: reading record count: %w", err)
 	}
+	prealloc := count
+	if prealloc > maxPrealloc {
+		prealloc = maxPrealloc
+	}
 	t := &Trace{
 		Name:    string(name),
 		Threads: int(threads),
-		Records: make([]Record, 0, count),
+		Records: make([]Record, 0, prealloc),
 	}
 	prevAddr := make([]uint64, threads)
 	for i := uint64(0); i < count; i++ {
@@ -166,7 +182,28 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 			Gap:    uint32(gap),
 		})
 	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("trace: trailing data after %d records", count)
+	}
 	return t, nil
+}
+
+// ReadFile loads a trace file, detecting the format by content: binary
+// CMPT first, then the text format.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	t, err := ReadBinary(f)
+	if err == ErrBadMagic {
+		if _, serr := f.Seek(0, 0); serr != nil {
+			return nil, serr
+		}
+		return ReadText(f)
+	}
+	return t, err
 }
 
 // WriteText encodes t in a human-readable line format:
@@ -212,6 +249,9 @@ func ReadText(r io.Reader) (*Trace, error) {
 					n, err := strconv.Atoi(fields[1])
 					if err != nil {
 						return nil, fmt.Errorf("trace: line %d: bad thread count: %w", lineNo, err)
+					}
+					if n < 0 || n > maxThreads {
+						return nil, fmt.Errorf("trace: line %d: implausible thread count %d", lineNo, n)
 					}
 					t.Threads = n
 				}

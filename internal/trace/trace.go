@@ -115,31 +115,57 @@ type Stats struct {
 	PerThread     []int
 }
 
+// statsAccum builds Stats record by record; Summarize and
+// SummarizeSource share it so the in-memory and streaming summaries are
+// the same computation.
+type statsAccum struct {
+	s         Stats
+	lines     map[uint64]struct{}
+	gapSum    uint64
+	lineBytes uint64
+}
+
+func newStatsAccum(threads, lineBytes int) *statsAccum {
+	return &statsAccum{
+		s:         Stats{PerThread: make([]int, threads)},
+		lines:     make(map[uint64]struct{}),
+		lineBytes: uint64(lineBytes),
+	}
+}
+
+func (a *statsAccum) add(r Record) {
+	a.s.Records++
+	if int(r.Thread) < len(a.s.PerThread) {
+		a.s.PerThread[r.Thread]++
+	}
+	switch r.Op {
+	case Load:
+		a.s.Loads++
+	case Store:
+		a.s.Stores++
+	case Ifetch:
+		a.s.Ifetches++
+	}
+	a.lines[r.Addr/a.lineBytes] = struct{}{}
+	a.gapSum += uint64(r.Gap)
+}
+
+func (a *statsAccum) finish() Stats {
+	a.s.DistinctLines = len(a.lines)
+	if a.s.Records > 0 {
+		a.s.MeanGap = float64(a.gapSum) / float64(a.s.Records)
+	}
+	return a.s
+}
+
 // Summarize computes Stats in one pass. lineBytes sets the granularity
 // for the distinct-line count.
 func (t *Trace) Summarize(lineBytes int) Stats {
-	s := Stats{PerThread: make([]int, t.Threads)}
-	lines := make(map[uint64]struct{})
-	var gapSum uint64
+	a := newStatsAccum(t.Threads, lineBytes)
 	for _, r := range t.Records {
-		s.Records++
-		s.PerThread[r.Thread]++
-		switch r.Op {
-		case Load:
-			s.Loads++
-		case Store:
-			s.Stores++
-		case Ifetch:
-			s.Ifetches++
-		}
-		lines[r.Addr/uint64(lineBytes)] = struct{}{}
-		gapSum += uint64(r.Gap)
+		a.add(r)
 	}
-	s.DistinctLines = len(lines)
-	if s.Records > 0 {
-		s.MeanGap = float64(gapSum) / float64(s.Records)
-	}
-	return s
+	return a.finish()
 }
 
 // FootprintBytes returns the distinct-line footprint in bytes.
