@@ -39,6 +39,19 @@ type artifactMeasurement struct {
 	// shard count, so Events never varies with it — only the wall-clock
 	// metrics do.
 	Shards int `json:"shards,omitempty"`
+
+	// Round-coordinator shape, recorded for sharded measurements
+	// (Results.Sharding): why the horizon was limited each parallel
+	// round, and how much wall clock the barrier cost. Rounds and the
+	// horizon counters are deterministic (identical at every shard
+	// count); the barrier nanoseconds are the host's answer to why the
+	// run did or didn't scale.
+	Rounds            uint64 `json:"rounds,omitempty"`
+	HorizonNextGlobal uint64 `json:"horizon_next_global,omitempty"`
+	HorizonRingCredit uint64 `json:"horizon_ring_credit,omitempty"`
+	HorizonWindow     uint64 `json:"horizon_window,omitempty"`
+	BarrierWaitNs     int64  `json:"barrier_wait_ns,omitempty"`  // summed across shards
+	BarrierDrainNs    int64  `json:"barrier_drain_ns,omitempty"` // serial replay/post drain
 }
 
 type benchRun struct {
@@ -308,6 +321,15 @@ func timeRun(cfg cmpcache.Config, tr *cmpcache.Trace, shards int) (artifactMeasu
 	if m.Shards = shards; shards < 0 || shards > cmpcache.MaxWorkers(&cfg) {
 		m.Shards = cmpcache.MaxWorkers(&cfg)
 	}
+	if shards != 0 {
+		sh := res.Sharding
+		m.Rounds = sh.Rounds
+		m.HorizonNextGlobal = sh.HorizonNextGlobal
+		m.HorizonRingCredit = sh.HorizonRingCredit
+		m.HorizonWindow = sh.HorizonWindow
+		m.BarrierWaitNs = sh.BarrierWaitTotalNs()
+		m.BarrierDrainNs = sh.BarrierDrainNs
+	}
 	return m, nil
 }
 
@@ -327,6 +349,10 @@ func printMeasurement(name string, m artifactMeasurement) {
 		name, m.NsPerOp, m.AllocsPerOp, m.EventsPerSec)
 	if m.Shards > 0 {
 		fmt.Fprintf(os.Stderr, " shards=%d", m.Shards)
+	}
+	if m.Rounds > 0 {
+		fmt.Fprintf(os.Stderr, " rounds=%d barrier=%s",
+			m.Rounds, time.Duration(m.BarrierWaitNs+m.BarrierDrainNs))
 	}
 	fmt.Fprintln(os.Stderr)
 }

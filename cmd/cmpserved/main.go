@@ -23,11 +23,17 @@
 //	GET    /v1/jobs/{id}/events  SSE progress + interval-metrics samples
 //	GET    /v1/jobs/{id}/latency stage-attributed latency report
 //	GET    /healthz              liveness
+//	GET    /readyz               readiness (503 during the drain window)
+//	GET    /metrics              Prometheus text exposition
 //	GET    /debug/stats          cache/queue/job counters
+//	GET    /debug/pprof/         runtime profiles
 //
-// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, jobs
-// drain for -drain-timeout (stragglers are then cancelled), and the
-// in-memory cache is persisted to -cache-dir.
+// Every request is logged (one structured line via -log) with an
+// X-Request-Id that also tags the job lifecycle lines it causes.
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: /readyz flips to 503, the
+// listener closes, jobs drain for -drain-timeout (stragglers are then
+// cancelled), and the in-memory cache is persisted to -cache-dir.
 package main
 
 import (
@@ -35,6 +41,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -71,10 +78,16 @@ func main() {
 		latency     = flag.Bool("latency", false, "attach the per-transaction latency collector to every run (enables /v1/jobs/{id}/latency)")
 		latTopK     = flag.Int("lat-topk", 0, "slowest-transactions reservoir size with -latency (0 = default 16)")
 		drain       = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget before in-flight jobs are cancelled")
+		logFormat   = flag.String("log", "text", "structured request/job log on stderr: text, json, or off")
 		overrides   = config.RegisterOverrides(flag.CommandLine)
 	)
 	flag.Parse()
 
+	logger, err := buildLogger(*logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cmpserved: %v\n", err)
+		os.Exit(1)
+	}
 	shardWorkers, err := sweep.ParseShards(*shards)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cmpserved: %v\n", err)
@@ -96,6 +109,7 @@ func main() {
 		Latency:         *latency,
 		LatencyTopK:     *latTopK,
 		Overrides:       overrides,
+		Logger:          logger,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -139,6 +153,9 @@ func serveMain(ctx context.Context, addr string, opts serve.Options, drain time.
 	case <-ctx.Done():
 	}
 	fmt.Fprintf(os.Stderr, "cmpserved: shutting down (drain budget %s)\n", drain)
+	// Flip /readyz to 503 before closing the listener so load balancers
+	// stop routing while in-flight requests still complete.
+	d.BeginDrain()
 	deadline, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	// Stop accepting first, then drain the job queue; both share the
@@ -152,6 +169,21 @@ func serveMain(ctx context.Context, addr string, opts serve.Options, drain time.
 	}
 	<-errc // Serve has returned http.ErrServerClosed by now
 	return nil
+}
+
+// buildLogger maps the -log flag to a slog logger on stderr (nil for
+// "off"; serve discards internally).
+func buildLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	case "off":
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("unknown -log format %q (want text, json, or off)", format)
+	}
 }
 
 func cacheDesc(dir string) string {

@@ -36,30 +36,32 @@ import (
 	"cmpcache/internal/metrics"
 	"cmpcache/internal/stats"
 	"cmpcache/internal/sweep"
+	"cmpcache/internal/telemetry"
 	"cmpcache/internal/txlat"
 )
 
 func main() {
 	var (
-		workloads   = flag.String("workloads", "all", "comma-separated workloads (tp,cpw2,notesbench,trade2) or all")
-		traces      = flag.String("traces", "", "comma-separated captured-trace inputs (sharded trace dirs or flat trace files) swept alongside the workloads; with -traces and no explicit -workloads, only the traces run")
-		mechanisms  = flag.String("mechanisms", "all", "comma-separated mechanisms (base,wbht,snarf,combined,reusedist,hybridui), all, or paper (the original four)")
-		outstanding = flag.String("outstanding", "6", "outstanding-miss axis: list and/or ranges, e.g. 1-6 or 1,2,4")
-		tableSizes  = flag.String("table-sizes", "", "table-entry axis for the active mechanism, e.g. 512,2048,8192 (empty = paper defaults)")
-		overrides   = config.RegisterOverrides(flag.CommandLine)
-		refs        = flag.Int("refs", 0, "references per thread (0 = workload default)")
-		workers     = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS; clamped when -shards > 1 so workers x shards fits GOMAXPROCS)")
-		shards      = flag.String("shards", "auto", "intra-run shard workers per simulation: auto (spare cores after -workers), serial, or a count (results are bit-identical at any value)")
-		timeout     = flag.Duration("timeout", 0, "per-job wall-clock timeout (0 = none)")
-		jsonOut     = flag.String("json", "", "write full results as JSON to this file (- for stdout)")
-		csvOut      = flag.String("csv", "", "write result rows as CSV to this file (- for stdout)")
-		metricsOut  = flag.String("metrics-out", "", "write one per-interval metrics series JSON file per job (plus a summary.json roll-up) into this directory")
-		metricsIval = flag.Int64("metrics-interval", 0, "metrics sampling window in cycles (0 = 1M, the paper's retry window)")
-		latOut      = flag.String("lat-out", "", "write one stage-attributed latency report JSON file per job into this directory; feed them to cmpreport")
-		latTopK     = flag.Int("lat-topk", 0, "slowest-transactions reservoir size for -lat-out (0 = default 16)")
-		quiet       = flag.Bool("q", false, "suppress the progress lines on stderr")
-		cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
-		memprofile  = flag.String("memprofile", "", "write a pprof heap profile (after the sweep) to this file")
+		workloads    = flag.String("workloads", "all", "comma-separated workloads (tp,cpw2,notesbench,trade2) or all")
+		traces       = flag.String("traces", "", "comma-separated captured-trace inputs (sharded trace dirs or flat trace files) swept alongside the workloads; with -traces and no explicit -workloads, only the traces run")
+		mechanisms   = flag.String("mechanisms", "all", "comma-separated mechanisms (base,wbht,snarf,combined,reusedist,hybridui), all, or paper (the original four)")
+		outstanding  = flag.String("outstanding", "6", "outstanding-miss axis: list and/or ranges, e.g. 1-6 or 1,2,4")
+		tableSizes   = flag.String("table-sizes", "", "table-entry axis for the active mechanism, e.g. 512,2048,8192 (empty = paper defaults)")
+		overrides    = config.RegisterOverrides(flag.CommandLine)
+		refs         = flag.Int("refs", 0, "references per thread (0 = workload default)")
+		workers      = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS; clamped when -shards > 1 so workers x shards fits GOMAXPROCS)")
+		shards       = flag.String("shards", "auto", "intra-run shard workers per simulation: auto (spare cores after -workers), serial, or a count (results are bit-identical at any value)")
+		timeout      = flag.Duration("timeout", 0, "per-job wall-clock timeout (0 = none)")
+		jsonOut      = flag.String("json", "", "write full results as JSON to this file (- for stdout)")
+		csvOut       = flag.String("csv", "", "write result rows as CSV to this file (- for stdout)")
+		metricsOut   = flag.String("metrics-out", "", "write one per-interval metrics series JSON file per job (plus a summary.json roll-up) into this directory")
+		metricsIval  = flag.Int64("metrics-interval", 0, "metrics sampling window in cycles (0 = 1M, the paper's retry window)")
+		latOut       = flag.String("lat-out", "", "write one stage-attributed latency report JSON file per job into this directory; feed them to cmpreport")
+		latTopK      = flag.Int("lat-topk", 0, "slowest-transactions reservoir size for -lat-out (0 = default 16)")
+		quiet        = flag.Bool("q", false, "suppress the progress lines on stderr")
+		cpuprofile   = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+		memprofile   = flag.String("memprofile", "", "write a pprof heap profile (after the sweep) to this file")
+		telemetryOut = flag.String("telemetry-out", "", "write the sweep's pool telemetry (Prometheus text exposition) to this file after the sweep (- for stderr)")
 	)
 	flag.Parse()
 
@@ -71,6 +73,7 @@ func main() {
 		{"csv", *csvOut},
 		{"cpuprofile", *cpuprofile},
 		{"memprofile", *memprofile},
+		{"telemetry-out", *telemetryOut},
 	} {
 		if err := ensureWritable(out.path); err != nil {
 			fatalf("-%s: %v", out.flag, err)
@@ -160,6 +163,11 @@ func main() {
 			fatalf("%v", err)
 		}
 	}
+	var reg *telemetry.Registry
+	if *telemetryOut != "" {
+		reg = telemetry.New()
+		opts.Metrics = sweep.NewPoolMetrics(reg, "cmpsweep")
+	}
 	if !*quiet {
 		opts.Progress = func(p sweep.Progress) {
 			status := fmt.Sprintf("%6.1fs", p.Duration.Seconds())
@@ -201,6 +209,11 @@ func main() {
 	if *latOut != "" {
 		if err := writeLatencyDir(*latOut, results); err != nil {
 			fatalf("%v", err)
+		}
+	}
+	if *telemetryOut != "" {
+		if err := writeTelemetry(*telemetryOut, reg); err != nil {
+			fatalf("-telemetry-out: %v", err)
 		}
 	}
 	for _, r := range results {
@@ -328,6 +341,24 @@ func writeIndented(path string, v any) error {
 		return err
 	}
 	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// writeTelemetry renders the sweep's registry as Prometheus text
+// exposition ("-" writes to stderr, keeping stdout for the table).
+func writeTelemetry(path string, reg *telemetry.Registry) error {
+	if path == "-" {
+		_, err := reg.WritePrometheus(os.Stderr)
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := reg.WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // jobWorkload renders the job's workload column: the synthetic

@@ -89,6 +89,14 @@ func OpenTraceDir(path string) (*ShardedTrace, error) { return trace.OpenSharded
 // metrics behind each of the paper's tables.
 type Results = system.Results
 
+// ShardingStats is the round-coordinator record in Results.Sharding:
+// how many rounds the event loop ran, why the parallel horizon was
+// limited each round (next global event, ring credit, or conflict
+// window), and — for sharded runs — how much wall clock the barrier
+// cost. The counters are deterministic and identical at every worker
+// count; only the wall-clock fields (excluded from JSON) vary.
+type ShardingStats = system.ShardingStats
+
 // WorkloadProfile describes a synthetic workload; see
 // internal/workload.Profile for the region mixture model.
 type WorkloadProfile = workload.Profile

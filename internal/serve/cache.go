@@ -21,6 +21,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"cmpcache/internal/telemetry"
 )
 
 // CacheLevel identifies which level satisfied a lookup.
@@ -45,6 +47,9 @@ type CacheOptions struct {
 	// DefaultL1Bytes. An entry larger than the bound bypasses L1 and
 	// lives only on disk.
 	L1Bytes int64
+	// Metrics receives the cache's counters. Nil means detached
+	// standalone counters (Stats still works; nothing is exported).
+	Metrics *CacheMetrics
 }
 
 // Default L1 bounds: result JSON runs a few hundred KB with metrics
@@ -55,8 +60,57 @@ const (
 	DefaultL1Bytes   = 256 << 20
 )
 
-// CacheStats are the monotonic counters exported by /debug/stats. All
-// fields count lookups or transitions since process start.
+// CacheMetrics are the cache's live counters. When built from a
+// registry (NewCacheMetrics) they export on /metrics; /debug/stats
+// renders the same instruments via Stats — one source of truth.
+type CacheMetrics struct {
+	L1Hits         *telemetry.Counter
+	L1Misses       *telemetry.Counter
+	L2Hits         *telemetry.Counter
+	L2Misses       *telemetry.Counter
+	Evictions      *telemetry.Counter
+	Writes         *telemetry.Counter
+	WriteErrors    *telemetry.Counter
+	CorruptDropped *telemetry.Counter
+	Persisted      *telemetry.Counter
+}
+
+// NewCacheMetrics builds the cache counter set on reg; a nil registry
+// yields detached (unexported but functional) counters.
+func NewCacheMetrics(reg *telemetry.Registry) *CacheMetrics {
+	if reg == nil {
+		return &CacheMetrics{
+			L1Hits: &telemetry.Counter{}, L1Misses: &telemetry.Counter{},
+			L2Hits: &telemetry.Counter{}, L2Misses: &telemetry.Counter{},
+			Evictions: &telemetry.Counter{}, Writes: &telemetry.Counter{},
+			WriteErrors: &telemetry.Counter{}, CorruptDropped: &telemetry.Counter{},
+			Persisted: &telemetry.Counter{},
+		}
+	}
+	return &CacheMetrics{
+		L1Hits: reg.Counter("cmpserved_result_cache_l1_hits_total",
+			"Result-cache lookups served by the in-memory L1 LRU."),
+		L1Misses: reg.Counter("cmpserved_result_cache_l1_misses_total",
+			"Result-cache lookups that missed L1."),
+		L2Hits: reg.Counter("cmpserved_result_cache_l2_hits_total",
+			"Result-cache lookups served by the on-disk L2 (promoted into L1)."),
+		L2Misses: reg.Counter("cmpserved_result_cache_l2_misses_total",
+			"Result-cache lookups that missed both levels."),
+		Evictions: reg.Counter("cmpserved_result_cache_evictions_total",
+			"L1 LRU evictions."),
+		Writes: reg.Counter("cmpserved_result_cache_writes_total",
+			"Successful result-cache Put calls."),
+		WriteErrors: reg.Counter("cmpserved_result_cache_write_errors_total",
+			"Soft L2 write failures (the result stays servable from L1)."),
+		CorruptDropped: reg.Counter("cmpserved_result_cache_corrupt_dropped_total",
+			"Invalid L2 files deleted and treated as misses."),
+		Persisted: reg.Counter("cmpserved_result_cache_persisted_total",
+			"L1 entries re-written to L2 by the shutdown Persist sweep."),
+	}
+}
+
+// CacheStats is the /debug/stats cache payload: a point-in-time reading
+// of the CacheMetrics counters plus current L1 occupancy.
 type CacheStats struct {
 	L1Hits         uint64 `json:"l1_hits"`
 	L1Misses       uint64 `json:"l1_misses"`
@@ -91,7 +145,7 @@ type Cache struct {
 	maxBytes   int64
 	dir        string
 
-	stats CacheStats
+	met *CacheMetrics
 }
 
 type cacheEntry struct {
@@ -112,12 +166,16 @@ func NewCache(opts CacheOptions) (*Cache, error) {
 			return nil, fmt.Errorf("serve: cache dir: %w", err)
 		}
 	}
+	if opts.Metrics == nil {
+		opts.Metrics = NewCacheMetrics(nil)
+	}
 	return &Cache{
 		ll:         list.New(),
 		items:      make(map[string]*list.Element),
 		maxEntries: opts.L1Entries,
 		maxBytes:   opts.L1Bytes,
 		dir:        opts.Dir,
+		met:        opts.Metrics,
 	}, nil
 }
 
@@ -137,38 +195,34 @@ func (c *Cache) Get(key string) ([]byte, CacheLevel, bool) {
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
-		c.stats.L1Hits++
 		data := el.Value.(*cacheEntry).data
 		c.mu.Unlock()
+		c.met.L1Hits.Inc()
 		return data, CacheL1, true
 	}
-	c.stats.L1Misses++
 	c.mu.Unlock()
+	c.met.L1Misses.Inc()
 
 	if c.dir == "" {
 		return nil, CacheMiss, false
 	}
 	data, err := os.ReadFile(c.path(key))
 	if err != nil {
-		c.mu.Lock()
-		c.stats.L2Misses++
-		c.mu.Unlock()
+		c.met.L2Misses.Inc()
 		return nil, CacheMiss, false
 	}
 	if !json.Valid(data) {
 		// Truncated or corrupted file: drop it so the next Put repairs
 		// the slot, and report a miss.
 		os.Remove(c.path(key))
-		c.mu.Lock()
-		c.stats.L2Misses++
-		c.stats.CorruptDropped++
-		c.mu.Unlock()
+		c.met.L2Misses.Inc()
+		c.met.CorruptDropped.Inc()
 		return nil, CacheMiss, false
 	}
 	c.mu.Lock()
-	c.stats.L2Hits++
 	c.install(key, data)
 	c.mu.Unlock()
+	c.met.L2Hits.Inc()
 	return data, CacheL2, true
 }
 
@@ -177,14 +231,12 @@ func (c *Cache) Get(key string) ([]byte, CacheLevel, bool) {
 // from L1 and Persist retries the disk write at shutdown.
 func (c *Cache) Put(key string, data []byte) {
 	c.mu.Lock()
-	c.stats.Writes++
 	c.install(key, data)
 	c.mu.Unlock()
+	c.met.Writes.Inc()
 	if c.dir != "" {
 		if err := c.writeL2(key, data); err != nil {
-			c.mu.Lock()
-			c.stats.WriteErrors++
-			c.mu.Unlock()
+			c.met.WriteErrors.Inc()
 		}
 	}
 }
@@ -209,7 +261,7 @@ func (c *Cache) install(key string, data []byte) {
 		c.ll.Remove(back)
 		delete(c.items, e.key)
 		c.bytes -= int64(len(e.data))
-		c.stats.Evictions++
+		c.met.Evictions.Inc()
 	}
 }
 
@@ -267,18 +319,27 @@ func (c *Cache) Persist() error {
 		}
 		persisted++
 	}
-	c.mu.Lock()
-	c.stats.Persisted += persisted
-	c.mu.Unlock()
+	c.met.Persisted.Add(persisted)
 	return firstErr
 }
 
 // Stats returns a snapshot of the counters plus current L1 occupancy.
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	s := c.stats
-	s.L1Entries = c.ll.Len()
-	s.L1Bytes = c.bytes
-	return s
+	entries := c.ll.Len()
+	bytes := c.bytes
+	c.mu.Unlock()
+	return CacheStats{
+		L1Hits:         c.met.L1Hits.Value(),
+		L1Misses:       c.met.L1Misses.Value(),
+		L2Hits:         c.met.L2Hits.Value(),
+		L2Misses:       c.met.L2Misses.Value(),
+		Evictions:      c.met.Evictions.Value(),
+		Writes:         c.met.Writes.Value(),
+		WriteErrors:    c.met.WriteErrors.Value(),
+		CorruptDropped: c.met.CorruptDropped.Value(),
+		Persisted:      c.met.Persisted.Value(),
+		L1Entries:      entries,
+		L1Bytes:        bytes,
+	}
 }

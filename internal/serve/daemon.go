@@ -7,7 +7,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,6 +17,7 @@ import (
 	"cmpcache/internal/config"
 	"cmpcache/internal/sweep"
 	"cmpcache/internal/system"
+	"cmpcache/internal/telemetry"
 	"cmpcache/internal/txlat"
 )
 
@@ -67,6 +70,16 @@ type Options struct {
 	// keying and execution, so server-side defaults participate in the
 	// cache key exactly like client-specified knobs.
 	Overrides *config.Overrides
+
+	// Registry receives every daemon metric and backs GET /metrics.
+	// Nil means the daemon creates a private registry (still scrapeable
+	// via its own endpoint — there is no detached mode for the daemon,
+	// only for the instruments' nil-safe use elsewhere).
+	Registry *telemetry.Registry
+	// Logger receives the structured request/job log (one line per HTTP
+	// request and per job lifecycle step, each carrying the request ID).
+	// Nil discards.
+	Logger *slog.Logger
 }
 
 // DefaultQueueDepth bounds the accepted-but-not-running backlog.
@@ -109,21 +122,31 @@ type Daemon struct {
 	wg    sync.WaitGroup
 	start time.Time
 
-	running   atomic.Int64
-	simRuns   atomic.Uint64
-	simEvents atomic.Uint64
-	submitted atomic.Uint64
-	collapsed atomic.Uint64
-	cacheHits atomic.Uint64 // submissions answered from the cache
-	rejected  atomic.Uint64
-	completed atomic.Uint64
-	failed    atomic.Uint64
-	canceled  atomic.Uint64
+	// Telemetry (DESIGN.md §18): every daemon counter lives in reg via
+	// met; /debug/stats and /metrics render the same instruments.
+	reg    *telemetry.Registry
+	met    *daemonMetrics
+	log    *slog.Logger
+	idBase string        // request-ID prefix, unique per daemon start
+	reqSeq atomic.Uint64 // request-ID sequence
+
+	// ready flips on once the pool is up; draining flips on when
+	// shutdown begins. GET /readyz is their conjunction.
+	ready    atomic.Bool
+	draining atomic.Bool
 }
 
 // New builds the daemon and starts its worker pool.
 func New(opts Options) (*Daemon, error) {
-	cache, err := NewCache(CacheOptions{Dir: opts.CacheDir, L1Entries: opts.L1Entries, L1Bytes: opts.L1Bytes})
+	reg := opts.Registry
+	if reg == nil {
+		reg = telemetry.New()
+	}
+	met := newDaemonMetrics(reg)
+	cache, err := NewCache(CacheOptions{
+		Dir: opts.CacheDir, L1Entries: opts.L1Entries, L1Bytes: opts.L1Bytes,
+		Metrics: NewCacheMetrics(reg),
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -150,6 +173,8 @@ func New(opts Options) (*Daemon, error) {
 			sim.Latency = &txlat.Config{TopK: opts.LatencyTopK}
 		}
 		sim.Shards = shards
+		sim.SourceOpens = met.traceOpens
+		sim.SourceHits = met.traceHits
 		run = sim.Run
 	}
 	salt, err := sweep.Canonical(struct {
@@ -159,6 +184,10 @@ func New(opts Options) (*Daemon, error) {
 	}{opts.MetricsInterval, opts.Latency, opts.LatencyTopK})
 	if err != nil {
 		return nil, err
+	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	d := &Daemon{
@@ -172,13 +201,33 @@ func New(opts Options) (*Daemon, error) {
 		primary:     make(map[string]*jobState),
 		queue:       make(chan *jobState, depth),
 		start:       time.Now(),
+		reg:         reg,
+		met:         met,
+		log:         logger,
+		idBase:      strconv.FormatInt(time.Now().UnixMilli(), 36),
 	}
+	d.registerGaugeFuncs(reg)
 	d.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go d.worker()
 	}
+	d.ready.Store(true)
 	return d, nil
 }
+
+// Registry exposes the daemon's metric registry (GET /metrics renders
+// it; tests read it).
+func (d *Daemon) Registry() *telemetry.Registry { return d.reg }
+
+// Ready reports whether the daemon is accepting work: the pool is up
+// and drain has not begun. GET /readyz maps this to 200/503 so load
+// balancers stop routing during the shutdown drain window.
+func (d *Daemon) Ready() bool { return d.ready.Load() && !d.draining.Load() }
+
+// BeginDrain marks the daemon not-ready ahead of Shutdown. cmpserved
+// calls it the moment SIGTERM arrives — before closing the listener —
+// so /readyz flips to 503 while in-flight requests still complete.
+func (d *Daemon) BeginDrain() { d.draining.Store(true) }
 
 // jobKey is the canonical content hash of the simulation plus the
 // daemon's observability settings — see observeSalt.
@@ -203,6 +252,13 @@ func (d *Daemon) jobKey(j sweep.Job) (string, error) {
 //     hold every new primary in the submission, in which case the whole
 //     submission is rejected with 429 and no side effects.
 func (d *Daemon) Submit(jobs []sweep.Job) ([]*jobState, error) {
+	return d.SubmitOrigin(jobs, "")
+}
+
+// SubmitOrigin is Submit with the originating request ID attached to
+// every job, so the job log lines produced later (run, cache store)
+// trace back to the submission.
+func (d *Daemon) SubmitOrigin(jobs []sweep.Job, origin string) ([]*jobState, error) {
 	if len(jobs) == 0 {
 		return nil, &RejectError{Status: 400, Msg: "empty job list"}
 	}
@@ -245,7 +301,8 @@ func (d *Daemon) Submit(jobs []sweep.Job) ([]*jobState, error) {
 		needed++
 	}
 	if free := cap(d.queue) - len(d.queue); needed > free {
-		d.rejected.Add(uint64(len(jobs)))
+		d.met.rejected.Add(uint64(len(jobs)))
+		d.log.Info("submit rejected", "id", origin, "jobs", len(jobs), "needed", needed, "free", free)
 		return nil, &RejectError{
 			Status: 429,
 			Msg:    fmt.Sprintf("queue full: submission needs %d slots, %d free", needed, free),
@@ -256,31 +313,43 @@ func (d *Daemon) Submit(jobs []sweep.Job) ([]*jobState, error) {
 	for i, job := range jobs {
 		key := keys[i]
 		d.seq++
-		j := newJobState(fmt.Sprintf("j%08d", d.seq), key, job)
+		j := newJobState(fmt.Sprintf("j%08d", d.seq), key, job, origin)
 		d.jobs[j.ID] = j
 		d.order = append(d.order, j.ID)
-		d.submitted.Add(1)
+		d.met.submitted.Inc()
 		out[i] = j
 
 		if h, ok := hits[key]; ok {
-			d.cacheHits.Add(1)
+			d.met.cacheHits.Inc()
 			j.complete(JobDone, h.data, "", true, h.level)
-			d.completed.Add(1)
+			d.met.completed.Inc()
+			d.log.Info("job cache hit", "id", origin, "job", j.ID, "key", shortKey(key), "level", h.level)
 			continue
 		}
 		if p := d.primary[key]; p != nil {
-			d.collapsed.Add(1)
+			d.met.collapsed.Inc()
 			p.mu.Lock()
 			p.waiters = append(p.waiters, j)
 			p.mu.Unlock()
+			d.log.Info("job collapsed", "id", origin, "job", j.ID, "key", shortKey(key), "primary", p.ID)
 			continue
 		}
 		d.primary[key] = j
 		// Cannot block: capacity was reserved above under the same lock
 		// and only Submit ever sends.
 		d.queue <- j
+		d.log.Info("job queued", "id", origin, "job", j.ID, "key", shortKey(key))
 	}
 	return out, nil
+}
+
+// shortKey truncates a cache key for log lines (full keys live in the
+// job views).
+func shortKey(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
 }
 
 // Job returns the state for id.
@@ -305,7 +374,7 @@ func (d *Daemon) Cancel(id string) (bool, bool) {
 		// no worker will count it; a running one is counted by the
 		// worker when it observes the cancellation.
 		if st, _ := j.snapshot(); st == JobCanceled {
-			d.canceled.Add(1)
+			d.met.canceled.Inc()
 		}
 	}
 	return cancelled, true
@@ -333,8 +402,11 @@ func (d *Daemon) runOne(j *jobState) {
 		d.finishPrimary(j, JobCanceled, nil, j.view(false).Error)
 		return
 	}
-	d.running.Add(1)
-	defer d.running.Add(-1)
+	d.met.running.Inc()
+	defer d.met.running.Dec()
+	started := time.Now()
+	d.met.jobQueueSeconds.Observe(started.Sub(j.enqueuedAt()).Seconds())
+	d.log.Info("job run", "id", j.origin, "job", j.ID, "key", shortKey(j.Key))
 
 	res, err := d.execute(ctx, j.Job)
 	if err != nil {
@@ -342,6 +414,8 @@ func (d *Daemon) runOne(j *jobState) {
 		if errors.Is(err, context.Canceled) {
 			status = JobCanceled
 		}
+		d.log.Info("job finished", "id", j.origin, "job", j.ID,
+			"status", status, "dur", time.Since(started), "error", err.Error())
 		d.finishPrimary(j, status, nil, err.Error())
 		return
 	}
@@ -350,9 +424,14 @@ func (d *Daemon) runOne(j *jobState) {
 		d.finishPrimary(j, JobFailed, nil, fmt.Sprintf("marshal result: %v", err))
 		return
 	}
-	d.simRuns.Add(1)
-	d.simEvents.Add(res.EventsFired)
+	d.met.simRuns.Inc()
+	d.met.simEvents.Add(res.EventsFired)
+	d.met.jobRunSeconds.Observe(time.Since(started).Seconds())
 	d.cache.Put(j.Key, data)
+	d.log.Info("job finished", "id", j.origin, "job", j.ID,
+		"status", JobDone, "dur", time.Since(started), "events", res.EventsFired)
+	d.log.Info("cache store", "id", j.origin, "job", j.ID,
+		"key", shortKey(j.Key), "bytes", len(data))
 	d.finishPrimary(j, JobDone, data, "")
 }
 
@@ -403,11 +482,11 @@ func (d *Daemon) count(transitioned bool, status JobStatus) {
 	}
 	switch status {
 	case JobDone:
-		d.completed.Add(1)
+		d.met.completed.Inc()
 	case JobFailed:
-		d.failed.Add(1)
+		d.met.failed.Inc()
 	case JobCanceled:
-		d.canceled.Add(1)
+		d.met.canceled.Inc()
 	}
 }
 
@@ -433,7 +512,9 @@ type Stats struct {
 	ShuttingDown bool   `json:"shutting_down"`
 }
 
-// Snapshot gathers the current daemon statistics.
+// Snapshot gathers the current daemon statistics. Every counter is read
+// from the telemetry registry's instruments — /debug/stats and /metrics
+// are two renderings of the same source of truth.
 func (d *Daemon) Snapshot() Stats {
 	d.mu.Lock()
 	depth := len(d.queue)
@@ -446,16 +527,16 @@ func (d *Daemon) Snapshot() Stats {
 		Cache:         d.cache.Stats(),
 		QueueDepth:    depth,
 		QueueCap:      capacity,
-		Running:       d.running.Load(),
-		Submitted:     d.submitted.Load(),
-		SimRuns:       d.simRuns.Load(),
-		SimEvents:     d.simEvents.Load(),
-		CacheServed:   d.cacheHits.Load(),
-		Collapsed:     d.collapsed.Load(),
-		Rejected:      d.rejected.Load(),
-		Completed:     d.completed.Load(),
-		Failed:        d.failed.Load(),
-		Canceled:      d.canceled.Load(),
+		Running:       d.met.running.Value(),
+		Submitted:     d.met.submitted.Value(),
+		SimRuns:       d.met.simRuns.Value(),
+		SimEvents:     d.met.simEvents.Value(),
+		CacheServed:   d.met.cacheHits.Value(),
+		Collapsed:     d.met.collapsed.Value(),
+		Rejected:      d.met.rejected.Value(),
+		Completed:     d.met.completed.Value(),
+		Failed:        d.met.failed.Value(),
+		Canceled:      d.met.canceled.Value(),
 		JobsRetained:  retained,
 		ShuttingDown:  closed,
 	}
@@ -468,6 +549,7 @@ func (d *Daemon) Snapshot() Stats {
 // contents are persisted to the L2 directory. It returns ctx's error
 // when the deadline forced cancellation, else the first persist error.
 func (d *Daemon) Shutdown(ctx context.Context) error {
+	d.BeginDrain()
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()

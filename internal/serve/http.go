@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 
 	"cmpcache/internal/sweep"
 	"cmpcache/internal/trace"
@@ -85,7 +86,13 @@ type SubmitResponse struct {
 //	GET    /v1/jobs/{id}/events  SSE: status transitions + interval-metrics samples
 //	GET    /v1/jobs/{id}/latency stage-attributed latency report (txlat)
 //	GET    /healthz              liveness
-//	GET    /debug/stats          cache/queue/job counters
+//	GET    /readyz               readiness (503 before the pool is up / once drain begins)
+//	GET    /metrics              Prometheus text exposition of the telemetry registry
+//	GET    /debug/stats          cache/queue/job counters (JSON view of the same registry)
+//	GET    /debug/pprof/         runtime profiles (CPU, heap, goroutine, ...)
+//
+// Every route runs inside the telemetry middleware: request-ID
+// assignment, per-route latency histograms, and structured logging.
 func (d *Daemon) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", d.handleSubmit)
@@ -98,10 +105,30 @@ func (d *Daemon) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !d.Ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		d.reg.WritePrometheus(w)
+	})
 	mux.HandleFunc("GET /debug/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, d.Snapshot())
 	})
-	return mux
+	// net/http/pprof only self-registers on the default mux; wire its
+	// handlers onto ours explicitly.
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return d.withTelemetry(mux)
 }
 
 func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -118,7 +145,7 @@ func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	jobs = sweep.OverrideJobs(jobs, d.opts.Overrides)
-	states, err := d.Submit(jobs)
+	states, err := d.SubmitOrigin(jobs, RequestID(r.Context()))
 	if err != nil {
 		status := http.StatusInternalServerError
 		var rej *RejectError
@@ -203,6 +230,8 @@ func (d *Daemon) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Connection", "keep-alive")
 	w.WriteHeader(http.StatusOK)
 
+	d.met.sse.Inc()
+	defer d.met.sse.Dec()
 	ch := j.subscribe(16)
 	defer j.unsubscribe(ch)
 

@@ -52,6 +52,10 @@ type jobState struct {
 	ID  string
 	Key string
 	Job sweep.Job
+	// origin is the X-Request-Id of the submission that created this
+	// job; every later log line about the job (run, cache store) carries
+	// it, so one grep traces a request across layers.
+	origin string
 
 	mu       sync.Mutex
 	status   JobStatus
@@ -69,11 +73,12 @@ type jobState struct {
 	done chan struct{} // closed exactly once, on reaching a terminal status
 }
 
-func newJobState(id, key string, job sweep.Job) *jobState {
+func newJobState(id, key string, job sweep.Job, origin string) *jobState {
 	return &jobState{
 		ID:       id,
 		Key:      key,
 		Job:      job,
+		origin:   origin,
 		status:   JobQueued,
 		enqueued: time.Now(),
 		subs:     make(map[chan jobEvent]struct{}),
@@ -81,10 +86,19 @@ func newJobState(id, key string, job sweep.Job) *jobState {
 	}
 }
 
+// enqueuedAt returns the submission instant (immutable after creation,
+// but read under mu for the race detector's sake).
+func (j *jobState) enqueuedAt() time.Time {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.enqueued
+}
+
 // JobView is the API representation of a job.
 type JobView struct {
 	ID         string          `json:"id"`
 	Key        string          `json:"key"`
+	Origin     string          `json:"origin,omitempty"` // submitting request's X-Request-Id
 	Job        sweep.Job       `json:"job"`
 	Status     JobStatus       `json:"status"`
 	Cached     bool            `json:"cached"`
@@ -104,6 +118,7 @@ func (j *jobState) view(includeResult bool) JobView {
 	v := JobView{
 		ID:         j.ID,
 		Key:        j.Key,
+		Origin:     j.origin,
 		Job:        j.Job,
 		Status:     j.status,
 		Cached:     j.cached,

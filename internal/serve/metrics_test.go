@@ -1,0 +1,368 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"cmpcache/internal/config"
+	"cmpcache/internal/sweep"
+	"cmpcache/internal/system"
+)
+
+// scrapeMetrics fetches the Prometheus exposition and checks the
+// content type.
+func scrapeMetrics(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("Content-Type = %q, want Prometheus text 0.0.4", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// metricValue extracts one sample from an exposition by its full series
+// name (including any label set, e.g. `m{route="GET /x",code="200"}`).
+func metricValue(t *testing.T, exposition, series string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(exposition, "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				t.Fatalf("series %s: bad value %q", series, rest)
+			}
+			return v
+		}
+	}
+	t.Fatalf("series %s not found in exposition", series)
+	return 0
+}
+
+func hasSeries(exposition, series string) bool {
+	for _, line := range strings.Split(exposition, "\n") {
+		if !strings.HasPrefix(line, "#") && strings.HasPrefix(line, series+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// TestMetricsEndpoint proves the scrape surface end to end: a cold
+// submission moves the run counters, a warm resubmission moves only the
+// cache counters, and /debug/stats renders the same instruments.
+func TestMetricsEndpoint(t *testing.T) {
+	run := func(ctx context.Context, j sweep.Job) (*system.Results, error) {
+		return &system.Results{EventsFired: 7}, nil
+	}
+	d := mustDaemon(t, Options{Workers: 1, Run: run})
+	defer d.Shutdown(context.Background())
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	job := `{"jobs":[{"Workload":"tp","RefsPerThread":1000}]}`
+	post := func() int {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(job))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if code := post(); code != http.StatusAccepted {
+		t.Fatalf("cold submit = %d, want 202", code)
+	}
+	// The job runs asynchronously; wait for it to finish.
+	deadline := time.Now().Add(30 * time.Second)
+	for d.Snapshot().Completed < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("job never completed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	cold := scrapeMetrics(t, srv.URL)
+	for series, want := range map[string]float64{
+		"cmpserved_jobs_submitted_total": 1,
+		"cmpserved_sim_runs_total":       1,
+		"cmpserved_sim_events_total":     7,
+		"cmpserved_jobs_completed_total": 1,
+		"cmpserved_cache_hits_total":     0,
+		"cmpserved_inflight_runs":        0,
+		"cmpserved_ready":                1,
+	} {
+		if got := metricValue(t, cold, series); got != want {
+			t.Errorf("cold %s = %v, want %v", series, got, want)
+		}
+	}
+	// The executed primary fed the job histograms.
+	if got := metricValue(t, cold, "cmpserved_job_run_seconds_count"); got != 1 {
+		t.Errorf("cold job_run_seconds_count = %v, want 1", got)
+	}
+
+	// Warm resubmission: answered from cache — 200, cache counters move,
+	// run counters must not.
+	if code := post(); code != http.StatusOK {
+		t.Fatalf("warm submit = %d, want 200 (cached)", code)
+	}
+	warm := scrapeMetrics(t, srv.URL)
+	for series, want := range map[string]float64{
+		"cmpserved_sim_runs_total":             1,
+		"cmpserved_sim_events_total":           7,
+		"cmpserved_cache_hits_total":           1,
+		"cmpserved_result_cache_l1_hits_total": 1,
+		"cmpserved_jobs_submitted_total":       2,
+	} {
+		if got := metricValue(t, warm, series); got != want {
+			t.Errorf("warm %s = %v, want %v", series, got, want)
+		}
+	}
+
+	// Per-route HTTP series carry the mux pattern, not the raw path.
+	if !hasSeries(warm, `cmpserved_http_requests_total{route="POST /v1/jobs",code="202"}`) {
+		t.Error("missing http_requests_total series for the cold submit")
+	}
+	if !hasSeries(warm, `cmpserved_http_requests_total{route="POST /v1/jobs",code="200"}`) {
+		t.Error("missing http_requests_total series for the warm submit")
+	}
+	if !hasSeries(warm, `cmpserved_http_request_seconds_bucket{route="GET /metrics",code="200",le="+Inf"}`) {
+		t.Error("missing http_request_seconds histogram for /metrics")
+	}
+
+	// /debug/stats is a JSON rendering of the same instruments.
+	stats := getStats(t, srv.URL)
+	if stats.Submitted != 2 || stats.SimRuns != 1 || stats.SimEvents != 7 ||
+		stats.CacheServed != 1 || stats.Completed != 2 {
+		t.Errorf("stats diverge from metrics: %+v", stats)
+	}
+	if stats.Cache.L1Hits != 1 || stats.Cache.L1Entries != 1 {
+		t.Errorf("cache stats diverge: %+v", stats.Cache)
+	}
+}
+
+// TestReadyzFlipsOnDrain proves /readyz (and the ready gauge) go
+// not-ready the moment drain begins, while /healthz stays alive.
+func TestReadyzFlipsOnDrain(t *testing.T) {
+	d := mustDaemon(t, Options{Workers: 1, Run: blockingRun(nil, nil)})
+	defer d.Shutdown(context.Background())
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	get := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("GET /readyz = %d before drain, want 200", code)
+	}
+	if got := metricValue(t, scrapeMetrics(t, srv.URL), "cmpserved_ready"); got != 1 {
+		t.Errorf("cmpserved_ready = %v before drain, want 1", got)
+	}
+
+	d.BeginDrain()
+	if code := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("GET /readyz = %d during drain, want 503", code)
+	}
+	if code := get("/healthz"); code != http.StatusOK {
+		t.Errorf("GET /healthz = %d during drain, want 200 (still alive)", code)
+	}
+	if got := metricValue(t, scrapeMetrics(t, srv.URL), "cmpserved_ready"); got != 0 {
+		t.Errorf("cmpserved_ready = %v during drain, want 0", got)
+	}
+}
+
+// TestRequestIDPropagation proves a client-supplied X-Request-Id is
+// echoed and threaded into the job it creates, and that a missing one
+// is minted.
+func TestRequestIDPropagation(t *testing.T) {
+	run := func(ctx context.Context, j sweep.Job) (*system.Results, error) {
+		return &system.Results{EventsFired: 1}, nil
+	}
+	d := mustDaemon(t, Options{Workers: 1, Run: run})
+	defer d.Shutdown(context.Background())
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/v1/jobs",
+		strings.NewReader(`{"jobs":[{"Workload":"tp"}]}`))
+	req.Header.Set("X-Request-Id", "trace-me-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != "trace-me-42" {
+		t.Errorf("echoed request ID = %q, want trace-me-42", got)
+	}
+	var sub SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Jobs) != 1 || sub.Jobs[0].Origin != "trace-me-42" {
+		t.Errorf("job origin = %+v, want trace-me-42", sub.Jobs)
+	}
+
+	// No header: one is minted and returned.
+	resp2, err := http.Get(srv.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.Header.Get("X-Request-Id") == "" {
+		t.Error("server did not mint an X-Request-Id")
+	}
+}
+
+// TestPprofEndpoints proves the profiling surface is wired onto the API
+// mux (net/http/pprof only self-registers on the default mux).
+func TestPprofEndpoints(t *testing.T) {
+	run := func(ctx context.Context, j sweep.Job) (*system.Results, error) {
+		return &system.Results{EventsFired: 1}, nil
+	}
+	d := mustDaemon(t, Options{Workers: 1, Run: run})
+	defer d.Shutdown(context.Background())
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/goroutine?debug=1"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestSSESubscriberChurn hammers one job's event stream: several live
+// subscribers plus one that never reads, all terminated by a DELETE.
+// The broadcast must not stall on the slow reader, the subscriber gauge
+// must track connect/disconnect, and nothing may leak.
+func TestSSESubscriberChurn(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ran := make(chan sweep.Job, 1)
+	d := mustDaemon(t, Options{Workers: 1, Run: blockingRun(nil, ran)}) // runs until cancelled
+	srv := httptest.NewServer(d.Handler())
+
+	sub, err := d.Submit([]sweep.Job{{Workload: "tp", Mechanism: config.Baseline, RefsPerThread: 1000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-ran // the job occupies the worker; subscribers will stream live
+	url := srv.URL + "/v1/jobs/" + sub[0].ID + "/events"
+
+	// Live subscribers: read the initial status frame so each handler is
+	// known to be inside its streaming loop.
+	const live = 5
+	type reader struct {
+		resp *http.Response
+		sc   *bufio.Scanner
+	}
+	readers := make([]reader, live)
+	for i := range readers {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() && sc.Text() != "" { // first frame ends at the blank line
+		}
+		readers[i] = reader{resp, sc}
+	}
+	// Slow subscriber: connects, never reads. Its handler must not be
+	// able to stall the others.
+	slowCtx, cancelSlow := context.WithCancel(context.Background())
+	slowReq, _ := http.NewRequestWithContext(slowCtx, http.MethodGet, url, nil)
+	slowResp, err := http.DefaultClient.Do(slowReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	waitGauge := func(want int64) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if got := d.met.sse.Value(); got == want {
+				return
+			} else if time.Now().After(deadline) {
+				t.Fatalf("sse subscriber gauge = %d, want %d", got, want)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	waitGauge(live + 1)
+
+	// Cancel the job: every subscriber must receive the done frame
+	// promptly despite the unread peer.
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+sub[0].ID, nil)
+	if resp, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	} else {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	for i, r := range readers {
+		got := make(chan bool, 1)
+		go func() {
+			done := false
+			for r.sc.Scan() {
+				if strings.HasPrefix(r.sc.Text(), "event: done") {
+					done = true
+				}
+			}
+			got <- done
+		}()
+		select {
+		case done := <-got:
+			if !done {
+				t.Errorf("reader %d: stream ended without a done frame", i)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatalf("reader %d stalled waiting for done (slow-reader head-of-line blocking?)", i)
+		}
+		r.resp.Body.Close()
+	}
+	cancelSlow()
+	slowResp.Body.Close()
+
+	waitGauge(0)
+	srv.Close()
+	if err := d.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	waitGoroutines(t, before)
+}

@@ -7,6 +7,7 @@ import (
 	"cmpcache/internal/config"
 	"cmpcache/internal/metrics"
 	"cmpcache/internal/system"
+	"cmpcache/internal/telemetry"
 	"cmpcache/internal/trace"
 	"cmpcache/internal/txlat"
 	"cmpcache/internal/workload"
@@ -37,6 +38,12 @@ type Simulator struct {
 	// are bit-identical at every shard count, so this is not part of
 	// any result-cache key. Set before the sweep starts.
 	Shards int
+
+	// SourceOpens / SourceHits count trace-source container opens and
+	// source-cache hits. Nil-safe telemetry instruments: leave nil for
+	// zero-cost detachment. Set before the sweep starts.
+	SourceOpens *telemetry.Counter
+	SourceHits  *telemetry.Counter
 
 	mu      sync.Mutex
 	traces  map[traceKey]*traceEntry
@@ -130,10 +137,12 @@ func (s *Simulator) source(ctx context.Context, path string) (trace.Source, erro
 	}
 	s.mu.Unlock()
 	if !ok {
+		s.SourceOpens.Inc()
 		e.src, e.err = openSource(path)
 		close(e.ready)
 		return e.src, e.err
 	}
+	s.SourceHits.Inc()
 	select {
 	case <-e.ready:
 		return e.src, e.err

@@ -34,6 +34,7 @@ import (
 
 	"cmpcache/internal/config"
 	"cmpcache/internal/system"
+	"cmpcache/internal/telemetry"
 	"cmpcache/internal/txlat"
 )
 
@@ -251,6 +252,69 @@ type Options struct {
 	// Log, when non-nil, receives one line per notable pool decision
 	// (currently only the oversubscription clamp). Nil is silent.
 	Log func(format string, args ...any)
+
+	// Metrics, when non-nil, receives pool occupancy and per-job timing
+	// (worker busy gauge, queue-wait and wall-time histograms, run/dedup
+	// counters). Every instrument inside is nil-safe, so a partially
+	// filled PoolMetrics records only what it carries; nil is the
+	// zero-cost detached default.
+	Metrics *PoolMetrics
+}
+
+// PoolMetrics instruments a sweep pool. Build one with NewPoolMetrics
+// to register everything on a telemetry registry, or fill individual
+// fields by hand (instruments are nil-safe).
+type PoolMetrics struct {
+	// Busy tracks workers currently executing a simulation (dedup
+	// waiters don't count — they are blocked, not working).
+	Busy *telemetry.Gauge
+	// JobsRun counts primary executions; JobsDeduped counts jobs served
+	// by attaching to an identical in-flight or finished entry.
+	JobsRun     *telemetry.Counter
+	JobsDeduped *telemetry.Counter
+	// QueueSeconds observes, per primary execution, the wait between
+	// pool start and the job beginning to run — the dispatch delay the
+	// bounded pool imposed. JobSeconds observes each primary's
+	// simulation wall time.
+	QueueSeconds *telemetry.Histogram
+	JobSeconds   *telemetry.Histogram
+	// SourceOpens / SourceHits count trace-source container opens vs
+	// source-cache hits when the pool builds its own Simulator.
+	SourceOpens *telemetry.Counter
+	SourceHits  *telemetry.Counter
+}
+
+// NewPoolMetrics registers the full pool instrument set on reg under
+// the given metric-name prefix (e.g. "cmpsweep"). A nil registry yields
+// detached but functional instruments.
+func NewPoolMetrics(reg *telemetry.Registry, prefix string) *PoolMetrics {
+	if reg == nil {
+		return &PoolMetrics{
+			Busy:    &telemetry.Gauge{},
+			JobsRun: &telemetry.Counter{}, JobsDeduped: &telemetry.Counter{},
+			QueueSeconds: telemetry.NewHistogram(telemetry.SecondsBuckets),
+			JobSeconds:   telemetry.NewHistogram(telemetry.SecondsBuckets),
+			SourceOpens:  &telemetry.Counter{}, SourceHits: &telemetry.Counter{},
+		}
+	}
+	return &PoolMetrics{
+		Busy: reg.Gauge(prefix+"_pool_busy_workers",
+			"Pool workers currently executing a simulation."),
+		JobsRun: reg.Counter(prefix+"_pool_jobs_run_total",
+			"Distinct simulations executed by the pool."),
+		JobsDeduped: reg.Counter(prefix+"_pool_jobs_deduped_total",
+			"Jobs served by attaching to an identical entry instead of executing."),
+		QueueSeconds: reg.Histogram(prefix+"_pool_job_queue_seconds",
+			"Wait between pool start and a primary beginning to run.",
+			telemetry.SecondsBuckets),
+		JobSeconds: reg.Histogram(prefix+"_pool_job_seconds",
+			"Per-primary simulation wall time.",
+			telemetry.SecondsBuckets),
+		SourceOpens: reg.Counter(prefix+"_trace_source_opens_total",
+			"Trace-source container opens."),
+		SourceHits: reg.Counter(prefix+"_trace_source_cache_hits_total",
+			"Trace-source lookups served from the simulator's source cache."),
+	}
 }
 
 // effectiveWorkers resolves the sweep's concurrency from opts: the
@@ -335,15 +399,24 @@ func Run(ctx context.Context, jobs []Job, opts Options) []Result {
 		if sim.Shards = opts.Shards; sim.Shards < 0 {
 			sim.Shards = AutoShards(workers)
 		}
+		if opts.Metrics != nil {
+			sim.SourceOpens = opts.Metrics.SourceOpens
+			sim.SourceHits = opts.Metrics.SourceHits
+		}
 		runFn = sim.Run
 	}
 
+	met := opts.Metrics
+	if met == nil {
+		met = &PoolMetrics{} // all-nil instruments: nil-safe, zero-cost
+	}
 	results := make([]Result, len(jobs))
 	pool := &pool{
 		entries: make(map[string]*entry, len(jobs)),
 		total:   len(jobs),
 		start:   time.Now(),
 		report:  opts.Progress,
+		met:     met,
 	}
 
 	idxCh := make(chan int)
@@ -382,6 +455,8 @@ type pool struct {
 	total      int
 	start      time.Time
 	report     func(Progress)
+
+	met *PoolMetrics // never nil; individual instruments may be
 }
 
 // execute runs (or awaits) the entry for job and returns its Result.
@@ -402,11 +477,17 @@ func (p *pool) execute(ctx context.Context, job Job, runFn RunFunc, timeout time
 	r := Result{Job: job, Cached: dup}
 	if !dup {
 		start := time.Now()
+		p.met.QueueSeconds.Observe(start.Sub(p.start).Seconds())
+		p.met.Busy.Inc()
 		e.res, e.err = runJob(ctx, runFn, job, timeout)
 		e.dur = time.Since(start)
+		p.met.Busy.Dec()
+		p.met.JobsRun.Inc()
+		p.met.JobSeconds.Observe(e.dur.Seconds())
 		close(e.ready)
 		r.Results, r.Err, r.Duration = e.res, e.err, e.dur
 	} else {
+		p.met.JobsDeduped.Inc()
 		select {
 		case <-e.ready:
 			r.Results, r.Err = e.res, e.err

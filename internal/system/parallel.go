@@ -3,6 +3,7 @@ package system
 import (
 	"context"
 	"runtime"
+	"time"
 
 	"cmpcache/internal/config"
 	"cmpcache/internal/sim"
@@ -39,6 +40,69 @@ import (
 // — Results, probe series, audit verdicts, latency reports — is
 // bit-identical at any worker count. Workers == 1 runs the identical
 // round structure inline; that *is* the serial engine.
+
+// ShardingStats records the round-coordinator's execution shape for a
+// run, answering the scaling question BENCH_core.json could not: not
+// just that a sharded run is slow, but *why* — which constraint limited
+// each parallel horizon, and how long shard results sat at the barrier.
+//
+// The counters (Rounds, ParallelRounds, Horizon*) are pure functions of
+// simulated time: workers only change which goroutine executes a shard,
+// never the round structure, so they are identical at every worker
+// count. They are NOT invariant under observation attachments — the
+// metrics probe and windowed latency collector schedule their own
+// wake-ups, adding rounds — so the whole record stays out of Results
+// JSON (Results.Sharding is json:"-", preserving the observation-only
+// result-byte contract) and is read in process: cmpbench surfaces it as
+// separate BENCH_core.json columns. The wall-clock fields (Workers,
+// BarrierWaitNs, BarrierDrainNs) additionally vary by host and worker
+// count.
+type ShardingStats struct {
+	// Rounds counts coordinator iterations (boundary tick → horizon
+	// choice → optional parallel phase → serial phase).
+	Rounds uint64
+	// ParallelRounds counts rounds whose horizon admitted at least one
+	// shard event, i.e. rounds that ran a parallel phase and a barrier.
+	ParallelRounds uint64
+	// Horizon-limiter attribution: which constraint bounded the horizon
+	// on each parallel round. NextGlobal: the next global (bus/ring/L3/
+	// memory) event time tg. RingCredit: the earliest cycle a freshly
+	// posted bus request could combine (shard lookahead floored by the
+	// address ring's free cycle, plus the address phase). Window: an
+	// observability window boundary (metrics probe or windowed latency
+	// collector). Sums to ParallelRounds.
+	HorizonNextGlobal uint64
+	HorizonRingCredit uint64
+	HorizonWindow     uint64
+
+	// Wall-clock barrier attribution, collected only when a worker pool
+	// ran (Workers > 1); nil/zero on serial runs so the serial hot path
+	// pays nothing. BarrierWaitNs[i] accumulates, per shard, the time
+	// between shard i finishing its parallel phase and the round's last
+	// shard finishing — the idle tail the barrier imposes. Excluded from
+	// JSON: results must stay bit-identical across worker counts.
+	Workers        int     `json:"-"`
+	BarrierWaitNs  []int64 `json:"-"`
+	BarrierDrainNs int64   `json:"-"`
+}
+
+// BarrierWaitTotalNs sums the per-shard barrier idle time.
+func (p *ShardingStats) BarrierWaitTotalNs() int64 {
+	var total int64
+	for _, ns := range p.BarrierWaitNs {
+		total += ns
+	}
+	return total
+}
+
+// horizon-limiter tags for the attribution counters above.
+type horizonLimit uint8
+
+const (
+	limNextGlobal horizonLimit = iota
+	limRingCredit
+	limWindow
+)
 
 // MaxWorkers returns the largest useful intra-run worker count for cfg:
 // one worker per L2 slice, capped by GOMAXPROCS. This is the "auto"
@@ -98,6 +162,7 @@ func (s *System) runRounds(ctx context.Context) error {
 		if tNext == sim.Forever {
 			break // every wheel is empty: the run is complete
 		}
+		s.pstats.Rounds++
 
 		// (1) Boundary tick: windows ending at or before the next event
 		// close now, seeing exactly the state after all earlier events.
@@ -120,6 +185,7 @@ func (s *System) runRounds(ctx context.Context) error {
 
 		// (2) Horizon: the largest cycle shards may run to freely.
 		h := tg
+		limiter := limNextGlobal
 		if minLocal != sim.Forever {
 			look := minLocal
 			if nf := s.ring.AddressNextFree(); nf > look {
@@ -128,21 +194,35 @@ func (s *System) runRounds(ctx context.Context) error {
 			look += s.cfg.AddressPhase
 			if look < h {
 				h = look
+				limiter = limRingCredit
 			}
 			if boundary-1 < h {
 				h = boundary - 1
+				limiter = limWindow
 			}
 			if minLocal <= h {
+				s.pstats.ParallelRounds++
+				switch limiter {
+				case limRingCredit:
+					s.pstats.HorizonRingCredit++
+				case limWindow:
+					s.pstats.HorizonWindow++
+				default:
+					s.pstats.HorizonNextGlobal++
+				}
 				if pool != nil {
 					pool.runRound(h)
+					t0 := time.Now()
+					s.drainBarrier(h)
+					s.pstats.BarrierDrainNs += time.Since(t0).Nanoseconds()
 				} else {
 					for _, sh := range s.shards {
 						if sh.engine.NextTime() <= h {
 							sh.engine.RunUntil(h)
 						}
 					}
+					s.drainBarrier(h)
 				}
-				s.drainBarrier(h)
 			}
 		}
 
@@ -248,6 +328,7 @@ type workerPool struct {
 
 func (s *System) startPool(n int) *workerPool {
 	p := &workerPool{s: s, workers: n, done: make(chan struct{}, n)}
+	s.pstats.BarrierWaitNs = make([]int64, len(s.shards))
 	for w := 1; w < n; w++ {
 		ch := make(chan struct{}, 1)
 		p.wake = append(p.wake, ch)
@@ -263,13 +344,15 @@ func (p *workerPool) serve(w int, wake <-chan struct{}) {
 	}
 }
 
-// runShards executes worker w's shards up to the published horizon.
+// runShards executes worker w's shards up to the published horizon,
+// stamping each shard's finish instant for barrier-wait attribution.
 func (p *workerPool) runShards(w int) {
 	h := p.horizon
 	for i := w; i < len(p.s.shards); i += p.workers {
 		sh := p.s.shards[i]
 		if sh.engine.NextTime() <= h {
 			sh.engine.RunUntil(h)
+			sh.doneAtNs = time.Now().UnixNano()
 		}
 	}
 }
@@ -298,6 +381,17 @@ func (p *workerPool) runRound(h config.Cycles) {
 	p.runShards(0)
 	for ; woken > 0; woken-- {
 		<-p.done
+	}
+	// All workers have quiesced (the done receives order their shard
+	// stamps before these reads). Charge each shard that ran the gap
+	// between its finish and now — the idle time the barrier imposed.
+	now := time.Now().UnixNano()
+	waits := p.s.pstats.BarrierWaitNs
+	for i, sh := range p.s.shards {
+		if sh.doneAtNs != 0 {
+			waits[i] += now - sh.doneAtNs
+			sh.doneAtNs = 0
+		}
 	}
 }
 

@@ -53,6 +53,12 @@ type shard struct {
 	// obsNext / postNext are the merge cursors used by the barrier.
 	obsNext  int
 	postNext int
+
+	// doneAtNs is the wall-clock instant this shard finished the current
+	// parallel phase, stamped by its worker and read by the coordinator
+	// after the barrier (the pool's done channel orders the accesses).
+	// Only set in pool mode; zero means the shard did not run this round.
+	doneAtNs int64
 }
 
 // obsKind discriminates replayed observation records.

@@ -65,6 +65,11 @@ type System struct {
 	// execution of the identical round structure).
 	workers int
 
+	// pstats accumulates the round coordinator's execution-shape
+	// counters and (pool mode only) wall-clock barrier attribution;
+	// copied into Results.Sharding at the end of the run.
+	pstats ShardingStats
+
 	wbInFlight []bool // one write-back bus transaction at a time per L2
 
 	reuse *reuseTracker
