@@ -74,7 +74,11 @@ type Options struct {
 	// Registry receives every daemon metric and backs GET /metrics.
 	// Nil means the daemon creates a private registry (still scrapeable
 	// via its own endpoint — there is no detached mode for the daemon,
-	// only for the instruments' nil-safe use elsewhere).
+	// only for the instruments' nil-safe use elsewhere). A Registry must
+	// be exclusive to one Daemon: metric names carry no per-daemon
+	// label, so sharing one would alias counters across daemons. New
+	// fails fast (panics on the duplicate gauge-func registration) if a
+	// Registry is reused for a second Daemon.
 	Registry *telemetry.Registry
 	// Logger receives the structured request/job log (one line per HTTP
 	// request and per job lifecycle step, each carrying the request ID).
@@ -421,7 +425,10 @@ func (d *Daemon) runOne(j *jobState) {
 	}
 	data, err := json.Marshal(res)
 	if err != nil {
-		d.finishPrimary(j, JobFailed, nil, fmt.Sprintf("marshal result: %v", err))
+		errMsg := fmt.Sprintf("marshal result: %v", err)
+		d.log.Info("job finished", "id", j.origin, "job", j.ID,
+			"status", JobFailed, "dur", time.Since(started), "error", errMsg)
+		d.finishPrimary(j, JobFailed, nil, errMsg)
 		return
 	}
 	d.met.simRuns.Inc()

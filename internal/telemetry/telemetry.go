@@ -418,19 +418,21 @@ func (v *HistogramVec) With(labelValues ...string) *Histogram {
 
 // WritePrometheus renders every family in registration order in the
 // Prometheus text exposition format. The internal buffer is reused
-// across scrapes, so a steady-state scrape allocates nothing.
-// Nil-safe: a nil registry writes nothing.
+// across scrapes, so a steady-state scrape allocates nothing; the
+// registry lock is held until the write completes, which serializes
+// concurrent scrapes (the buffer would otherwise be recycled under the
+// first scrape's Write). Nil-safe: a nil registry writes nothing.
 func (r *Registry) WritePrometheus(w io.Writer) (int, error) {
 	if r == nil {
 		return 0, nil
 	}
 	r.mu.Lock()
+	defer r.mu.Unlock()
 	b := r.scratch[:0]
 	for _, f := range r.families {
 		b = f.render(b)
 	}
 	r.scratch = b
-	r.mu.Unlock()
 	return w.Write(b)
 }
 

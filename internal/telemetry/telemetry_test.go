@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -469,6 +470,73 @@ func TestConcurrentScrape(t *testing.T) {
 	}
 	if g.Value() != 0 {
 		t.Fatalf("gauge should settle at 0, got %d", g.Value())
+	}
+}
+
+// chunkedWriter copies its input a few bytes at a time, yielding the
+// scheduler between chunks, so a scrape that releases the registry lock
+// before Write completes would have its shared render buffer recycled
+// (and mutated) by a concurrent scrape mid-copy.
+type chunkedWriter struct{ buf bytes.Buffer }
+
+func (w *chunkedWriter) Write(p []byte) (int, error) {
+	total := 0
+	for len(p) > 0 {
+		n := 16
+		if n > len(p) {
+			n = len(p)
+		}
+		w.buf.Write(p[:n])
+		total += n
+		p = p[n:]
+		runtime.Gosched()
+	}
+	return total, nil
+}
+
+// TestConcurrentScrapers pins the scrape-vs-scrape guarantee:
+// WritePrometheus holds the registry lock across the Write, so
+// overlapping scrapes (HA Prometheus, concurrent curls) each get a
+// complete, well-formed exposition instead of racing on the reused
+// render buffer. Run under -race this is the regression check for the
+// buffer-recycling data race.
+func TestConcurrentScrapers(t *testing.T) {
+	r := New()
+	r.Counter("ops_total", "Ops.").Add(12345)
+	r.Gauge("inflight", "In flight.").Set(-7)
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.001, 0.01, 0.1})
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i%100) / 1000)
+	}
+	vec := r.CounterVec("routed_total", "Routed.", "route")
+	for _, route := range []string{"r0", "r1", "r2"} {
+		vec.With(route).Inc()
+	}
+	want := scrape(t, r)
+
+	const scrapers = 4
+	const perScraper = 50
+	outs := make([][]string, scrapers)
+	var wg sync.WaitGroup
+	for s := 0; s < scrapers; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < perScraper; i++ {
+				var w chunkedWriter
+				r.WritePrometheus(&w) // cannot fail: buffer writes
+				outs[s] = append(outs[s], w.buf.String())
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	for _, scrapes := range outs {
+		for _, text := range scrapes {
+			if text != want {
+				t.Fatalf("concurrent scrape corrupted:\n%s\n--- want ---\n%s", text, want)
+			}
+		}
 	}
 }
 
